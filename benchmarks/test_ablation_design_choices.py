@@ -1,0 +1,118 @@
+"""Ablations of KRISP's design choices (beyond the paper's figures).
+
+* SE-distribution policy inside KRISP (Conserved vs Packed vs
+  Distributed) on end-to-end throughput — Fig. 7/8's microbenchmark
+  effect carried to whole servers.
+* Intra-CU interference exponent: with perfectly fair CU sharing
+  (alpha = 1.0), unrestricted MPS loses less to contention, which is
+  exactly the headroom KRISP exploits at alpha > 1.
+* Memory-bandwidth pool: disabling it (huge budget) inflates MPS
+  Default's 4-worker throughput, confirming bandwidth contention is a
+  real component of the co-location penalty.
+"""
+
+from conftest import write_result
+
+from repro.analysis.tables import format_table
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.core.krisp import KrispAllocator, KrispConfig, KrispSystem
+from repro.gpu.device import GpuDevice
+from repro.models.zoo import get_model
+from repro.profiling.kernel_profiler import build_database
+from repro.server.experiment import ExperimentConfig, normalized_rps, run_experiment
+from repro.sim.engine import Simulator
+
+
+def _krisp_distribution_throughput(distribution, model_name="resnet152",
+                                   workers=4, passes=6):
+    """Closed-loop-free measurement: total time for N interleaved passes
+    of `workers` streams under a KRISP system with the given policy."""
+    sim = Simulator()
+    device = GpuDevice(sim)
+    model = get_model(model_name)
+    database = build_database(model.trace(32))
+    system = KrispSystem(
+        sim, device, database,
+        config=KrispConfig(distribution=distribution, overlap_limit=0),
+    )
+    streams = [system.create_stream(f"w{i}") for i in range(workers)]
+    for _ in range(passes):
+        for stream in streams:
+            for desc in model.trace(32):
+                stream.launch_kernel(desc)
+    sim.run()
+    return workers * passes / sim.now
+
+
+def test_ablation_distribution_policy(benchmark):
+    def run():
+        return {policy.value: _krisp_distribution_throughput(policy)
+                for policy in DistributionPolicy}
+
+    throughput = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_distribution_policy", format_table(
+        ["distribution", "passes/s"],
+        [[name, value] for name, value in throughput.items()],
+        title="KRISP-I end-to-end throughput by SE-distribution policy "
+              "(4x resnet152)"))
+    # Conserved never loses to Packed; the microbenchmark effect carries
+    # through to whole servers.
+    assert throughput["conserved"] >= 0.98 * throughput["packed"]
+    assert throughput["conserved"] >= 0.98 * throughput["distributed"]
+
+
+def test_ablation_intra_cu_interference(benchmark):
+    def run():
+        rows = {}
+        for alpha in (1.0, 1.15, 1.3):
+            result = run_experiment(ExperimentConfig(
+                model_names=("densenet201",) * 4,
+                policy="mps-default",
+                intra_cu_alpha=alpha,
+            ))
+            rows[alpha] = normalized_rps(result)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_intra_cu_interference", format_table(
+        ["alpha", "MPS Default norm RPS (4x densenet201)"],
+        [[a, v] for a, v in rows.items()]))
+    # More intra-CU interference monotonically hurts unrestricted sharing.
+    assert rows[1.0] >= rows[1.15] >= rows[1.3]
+
+
+def test_ablation_memory_bandwidth_pool(benchmark):
+    def run():
+        limited = run_experiment(ExperimentConfig(
+            model_names=("vgg19",) * 4, policy="mps-default"))
+        unlimited = run_experiment(ExperimentConfig(
+            model_names=("vgg19",) * 4, policy="mps-default",
+            mem_bandwidth_budget=1e9))
+        return normalized_rps(limited), normalized_rps(unlimited)
+
+    limited, unlimited = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_memory_bandwidth",
+                 f"4x vgg19 under MPS Default: norm RPS {limited:.2f} with "
+                 f"the bandwidth pool, {unlimited:.2f} without")
+    assert unlimited >= limited
+
+
+def test_ablation_rightsizing_margin(benchmark):
+    """Padding every kernel's right-size wastes isolation headroom."""
+    def run():
+        sim = Simulator()
+        device = GpuDevice(sim)
+        model = get_model("resnet152")
+        database = build_database(model.trace(32))
+        sizes = {}
+        for margin in (0, 10):
+            system = KrispSystem(sim, device, database,
+                                 config=KrispConfig(margin_cus=margin))
+            sizes[margin] = system.rightsizer(model.trace(32)[0])
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_rightsizing_margin",
+                 f"requested CUs for resnet152's first kernel: "
+                 f"margin 0 -> {sizes[0]}, margin 10 -> {sizes[10]}")
+    assert sizes[10] == min(60, sizes[0] + 10)

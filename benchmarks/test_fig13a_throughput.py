@@ -1,0 +1,65 @@
+"""Fig. 13a: normalized system throughput, 1/2/4 workers x 5 policies.
+
+Regenerates the headline evaluation grid: every model co-located with
+itself at 1, 2, and 4 workers under each spatial-partitioning policy,
+throughput normalised to the isolated single worker.  Shape assertions
+follow the paper's Section VI-B narrative.
+"""
+
+from conftest import POLICIES, WORKER_COUNTS, write_result
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import MODEL_NAMES
+from repro.server.metrics import geomean
+
+
+def test_fig13a_throughput(benchmark, grid32):
+    def run():
+        norm = {}
+        for model in MODEL_NAMES:
+            for policy in POLICIES:
+                for workers in WORKER_COUNTS:
+                    norm[(model, policy, workers)] = grid32.normalized(
+                        model, policy, workers)
+        return norm
+
+    norm = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for model in MODEL_NAMES:
+        rows = [[policy] + [norm[(model, policy, k)] for k in WORKER_COUNTS]
+                for policy in POLICIES]
+        blocks.append(format_table(
+            ["policy", "x1", "x2", "x4"], rows,
+            title=f"{model}: normalized RPS"))
+    geo_rows = [[policy] + [
+        geomean([norm[(m, policy, k)] for m in MODEL_NAMES])
+        for k in WORKER_COUNTS] for policy in POLICIES]
+    blocks.append(format_table(["policy", "x1", "x2", "x4"], geo_rows,
+                               title="GEOMEAN over all models"))
+    write_result("fig13a_throughput", "\n\n".join(blocks))
+
+    geo = {policy: {k: geomean([norm[(m, policy, k)] for m in MODEL_NAMES])
+                    for k in WORKER_COUNTS} for policy in POLICIES}
+
+    # Co-locating 2 workers helps every policy.
+    for policy in POLICIES:
+        assert geo[policy][2] > 1.3
+
+    # KRISP-I achieves the best (or tied-best) throughput at 4 workers
+    # and roughly doubles the isolated throughput on average.
+    best_at_4 = max(geo[p][4] for p in POLICIES)
+    assert geo["krisp-i"][4] >= 0.98 * best_at_4
+    assert geo["krisp-i"][4] >= 2.0
+
+    # MPS Default saturates: it is the weakest policy at 4 workers, and
+    # KRISP-I beats it clearly (the paper's contention argument).
+    assert geo["mps-default"][4] == min(geo[p][4] for p in POLICIES)
+    assert geo["krisp-i"][4] > 1.15 * geo["mps-default"][4]
+
+    # Model Right-Size (prior work's upper bound) improves on MPS Default
+    # at 2 workers, validating the prior-work trend.
+    assert geo["model-rightsize"][2] >= geo["mps-default"][2]
+
+    # Up to ~3.5x gains exist for restriction-tolerant models.
+    assert max(norm[(m, "krisp-i", 4)] for m in MODEL_NAMES) > 3.2

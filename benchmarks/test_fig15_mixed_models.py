@@ -1,0 +1,60 @@
+"""Fig. 15: co-located *mixed* inference-model pairs.
+
+Runs every unordered pair of distinct models (28 pairs) under MPS
+Default, Model Right-Size, KRISP-O, and KRISP-I, and regenerates the
+throughput-distribution boxplot.  Paper shape: the right-sizing policies
+beat MPS Default, and KRISP-I generally outperforms or matches Model
+Right-Size.
+"""
+
+import itertools
+
+from conftest import write_result
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import MODEL_NAMES
+from repro.server.experiment import ExperimentConfig, normalized_rps, run_experiment
+from repro.server.metrics import BoxplotStats, geomean
+
+PAIR_POLICIES = ("mps-default", "model-rightsize", "krisp-o", "krisp-i")
+PAIRS = list(itertools.combinations(MODEL_NAMES, 2))
+
+
+def test_fig15_mixed_models(benchmark):
+    def run():
+        samples = {policy: [] for policy in PAIR_POLICIES}
+        for a, b in PAIRS:
+            for policy in PAIR_POLICIES:
+                result = run_experiment(ExperimentConfig(
+                    model_names=(a, b), policy=policy,
+                    requests_scale=0.6))
+                samples[policy].append(normalized_rps(result))
+        return samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for policy in PAIR_POLICIES:
+        stats = BoxplotStats.from_samples(samples[policy])
+        rows.append([policy, stats.minimum, stats.q1, stats.median,
+                     stats.q3, stats.maximum, geomean(samples[policy])])
+    write_result("fig15_mixed_models", format_table(
+        ["policy", "min", "q1", "median", "q3", "max", "geomean"],
+        rows,
+        title=f"Fig. 15: normalized throughput over {len(PAIRS)} "
+              "mixed-model pairs",
+    ))
+
+    med = {policy: BoxplotStats.from_samples(samples[policy]).median
+           for policy in PAIR_POLICIES}
+    # Every policy benefits substantially from mixed co-location ...
+    for policy in PAIR_POLICIES:
+        assert med[policy] > 1.5
+        # ... and every single pair gains over temporal sharing.
+        assert min(samples[policy]) > 1.0
+    # KRISP-I outperforms or matches Model Right-Size (the paper's
+    # comparison that carries over directly; our simulated MPS Default
+    # suffers less mixed-pair interference than real hardware, see
+    # EXPERIMENTS.md).
+    assert med["krisp-i"] >= 0.97 * med["model-rightsize"]
+    assert med["krisp-i"] >= 0.92 * med["mps-default"]

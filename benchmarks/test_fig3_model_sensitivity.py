@@ -1,0 +1,62 @@
+"""Fig. 3: inference-model sensitivity to GPU resource restriction.
+
+Sweeps active CUs for all nine models and regenerates the
+throughput/tail-latency-versus-CUs curves, checking the tolerance classes
+the paper calls out: albert stays at peak down to ~10-12 CUs while vgg19
+degrades immediately below the full device.
+"""
+
+from conftest import write_result
+
+from repro.analysis.series import format_series
+from repro.models.zoo import ALL_MODEL_NAMES, TABLE_III, get_model
+from repro.profiling.model_profiler import profile_model
+
+SWEEP = tuple(range(4, 61, 4))
+
+
+def test_fig3_model_sensitivity(benchmark):
+    def run():
+        return {name: profile_model(get_model(name), cu_counts=SWEEP)
+                for name in ALL_MODEL_NAMES}
+
+    sensitivities = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    blocks = []
+    for name, sens in sensitivities.items():
+        paper = TABLE_III.get(name)
+        header = (f"{name}: right-size {sens.right_size} CUs"
+                  + (f" (paper {paper[1]})" if paper else " (not in paper)"))
+        blocks.append(header + "\n" + format_series(
+            sens.cu_counts, [lat * 1e3 for lat in sens.latencies],
+            x_label="active CUs", y_label="latency (ms)"))
+    write_result("fig3_model_sensitivity", "\n\n".join(blocks))
+
+    albert = sensitivities["albert"]
+    vgg = sensitivities["vgg19"]
+    resnext = sensitivities["resnext101"]
+
+    # albert holds peak throughput even under 12 CUs ...
+    assert albert.latency_at(12) <= albert.full_latency * 1.06
+    # ... while vgg19 degrades as soon as the device shrinks at all.
+    assert vgg.latency_at(56) > vgg.full_latency * 1.05
+    # Severe restriction hurts every intolerant model substantially.
+    assert vgg.latency_at(4) > vgg.full_latency * 2.0
+    assert resnext.latency_at(4) > resnext.full_latency * 2.0
+    # Tolerance ordering matches the paper's Table III kneepoints.
+    assert albert.right_size < resnext.right_size <= vgg.right_size
+
+
+def test_fig3_right_sizes_match_table3(benchmark):
+    def run():
+        return {name: profile_model(get_model(name),
+                                    cu_counts=range(2, 61)).right_size
+                for name in TABLE_III}
+
+    right_sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = "\n".join(
+        f"{name:12s} measured {measured:3d}  paper {TABLE_III[name][1]:3d}"
+        for name, measured in right_sizes.items())
+    write_result("fig3_right_sizes", rows)
+    for name, measured in right_sizes.items():
+        assert abs(measured - TABLE_III[name][1]) <= 3, name

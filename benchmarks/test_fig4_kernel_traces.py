@@ -1,0 +1,55 @@
+"""Fig. 4: per-kernel minimum-CU traces for albert and resnext101.
+
+Regenerates the kernel-wise minCU sequence over one inference pass and
+checks the phase behaviour the paper describes: albert alternates mostly
+small requirements with periodic full-device spikes; resnext101 is
+dominated by high-requirement kernels yet still contains many small ones
+— the fine-grain opportunity KRISP exploits.
+"""
+
+from conftest import write_result
+
+from repro.models.zoo import get_model
+from repro.profiling.model_profiler import kernel_mincu_trace
+
+
+def _summarise(name: str, trace: list[int]) -> str:
+    small = sum(1 for m in trace if m <= 15)
+    large = sum(1 for m in trace if m >= 50)
+    lines = [
+        f"{name}: {len(trace)} kernels/pass; "
+        f"{small} need <=15 CUs, {large} need >=50 CUs",
+        "first 60 kernels: " + " ".join(f"{m}" for m in trace[:60]),
+    ]
+    return "\n".join(lines)
+
+
+def test_fig4_kernel_traces(benchmark):
+    def run():
+        return (kernel_mincu_trace(get_model("albert")),
+                kernel_mincu_trace(get_model("resnext101")))
+
+    albert, resnext = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("fig4_kernel_traces",
+                 _summarise("albert", albert) + "\n\n"
+                 + _summarise("resnext101", resnext))
+
+    # albert: majority of kernels need <=10-15 CUs, with periodic spikes
+    # of 50-60-CU kernels (2 per transformer layer = 24 spikes).
+    assert sum(1 for m in albert if m <= 15) / len(albert) > 0.75
+    spikes = sum(1 for m in albert if m >= 50)
+    assert spikes == 24
+    # The spikes are periodic: one pair every 25-kernel layer.
+    spike_positions = [i for i, m in enumerate(albert) if m >= 50]
+    layer_gaps = {spike_positions[i + 2] - spike_positions[i]
+                  for i in range(0, len(spike_positions) - 2, 2)}
+    assert layer_gaps == {25}
+
+    # resnext101: one >=50-CU kernel per block (33 blocks, plus the stem
+    # convolution), but still hundreds of small kernels *within* the pass.
+    assert 33 <= sum(1 for m in resnext if m >= 50) <= 35
+    assert sum(1 for m in resnext if m <= 15) > 150
+
+    # Models vary in both kernel count and requirement mix (Table III).
+    assert len(albert) == 304
+    assert len(resnext) == 347

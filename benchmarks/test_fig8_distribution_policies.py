@@ -1,0 +1,116 @@
+"""Fig. 8: characterisation of a vector-multiply kernel under the three
+CU-distribution policies (Packed / Distributed / Conserved).
+
+Sweeps active CUs 1..60 for each policy, measuring latency and energy of
+a single kernel run, and checks the paper's signature effects:
+
+* Packed spikes at 16/31/46 active CUs (a lone CU in a freshly opened SE
+  bottlenecks its equal share of the grid);
+* Distributed steps at 15/11/7 (the per-SE ceil makes 15 CUs perform
+  like 12, 11 like 8, 7 like 4);
+* Conserved avoids both pitfalls and saves energy in the ~40-CU range by
+  keeping a whole shader engine idle.
+"""
+
+from conftest import write_result
+
+from repro.analysis.series import format_series
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import vector_mul_kernel
+from repro.sim.engine import Simulator
+
+TOPO = GpuTopology.mi50()
+POLICIES = (DistributionPolicy.PACKED, DistributionPolicy.DISTRIBUTED,
+            DistributionPolicy.CONSERVED)
+
+
+def _measure(desc, mask):
+    """(latency, energy) of one kernel alone on a fresh device."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    device.launch(KernelLaunch(desc), mask)
+    sim.run()
+    device.finalize()
+    return sim.now, device.meter.energy_joules
+
+
+def _sweep():
+    desc = vector_mul_kernel(workgroups=210, wg_duration=20e-6)
+    results = {}
+    for policy in POLICIES:
+        generator = ResourceMaskGenerator(TOPO, policy=policy)
+        latencies, energies = [], []
+        for n in range(1, 61):
+            mask = generator.generate(n, CUKernelCounters(TOPO))
+            latency, energy = _measure(desc, mask)
+            latencies.append(latency)
+            energies.append(energy)
+        results[policy.value] = (latencies, energies)
+    return results
+
+
+def test_fig8_distribution_policies(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    blocks = []
+    for policy, (latencies, _energies) in results.items():
+        blocks.append(f"[{policy}] normalised runtime vs active CUs\n"
+                      + format_series(range(1, 61),
+                                      [lat / latencies[-1] for lat in latencies],
+                                      x_label="active CUs",
+                                      y_label="runtime (x full GPU)"))
+    write_result("fig8_distribution_policies", "\n\n".join(blocks))
+
+    packed_lat = results["packed"][0]
+    distributed_lat = results["distributed"][0]
+    conserved_lat = results["conserved"][0]
+
+    def at(series, n):
+        return series[n - 1]
+
+    # Packed: three distinct spikes around 16, 31, and 46 active CUs.
+    for boundary in (16, 31, 46):
+        assert at(packed_lat, boundary) > 1.5 * at(packed_lat, boundary - 1)
+        assert at(conserved_lat, boundary) < at(packed_lat, boundary)
+
+    # Distributed: 15 CUs perform like 12, 11 like 8, 7 like 4 (the per-SE
+    # ceil; remainder WGs allow a few percent of slack).
+    assert at(distributed_lat, 15) == at(distributed_lat, 12)
+    assert abs(at(distributed_lat, 11) - at(distributed_lat, 8)) \
+        <= 0.05 * at(distributed_lat, 8)
+    assert abs(at(distributed_lat, 7) - at(distributed_lat, 4)) \
+        <= 0.05 * at(distributed_lat, 4)
+    # ... and each of those points is a clear step above the next size up.
+    assert at(distributed_lat, 15) > 1.15 * at(distributed_lat, 16)
+    assert at(distributed_lat, 11) > 1.15 * at(distributed_lat, 12)
+    assert at(distributed_lat, 7) > 1.15 * at(distributed_lat, 8)
+    # Conserved fixes the 15-CU step (one full SE).
+    assert at(conserved_lat, 15) < at(distributed_lat, 15)
+
+    # Conserved is never slower than Packed anywhere in the sweep.
+    assert all(c <= p * 1.001 for c, p in zip(conserved_lat, packed_lat))
+
+
+def test_fig8_conserved_energy_saving(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    conserved_energy = results["conserved"][1]
+    distributed_energy = results["distributed"][1]
+
+    # Around 40 active CUs Conserved uses 3 SEs instead of 4, saving
+    # single-kernel energy (the paper measures up to 8%).
+    savings = []
+    for n in range(36, 45):
+        saving = 1.0 - conserved_energy[n - 1] / distributed_energy[n - 1]
+        savings.append((n, saving))
+    best = max(saving for _n, saving in savings)
+    write_result(
+        "fig8_energy_saving",
+        "\n".join(f"{n} CUs: conserved saves {saving * 100:.1f}% energy "
+                  "vs distributed" for n, saving in savings)
+        + f"\nbest saving in 36-44 CU range: {best * 100:.1f}%",
+    )
+    assert best > 0.02

@@ -1,0 +1,38 @@
+"""Table III: workload characterisation.
+
+Regenerates the paper's workload table — kernel calls per inference,
+model-wise right-size, and isolated p95 latency — from the zoo plus the
+profilers, and compares against the published values.
+"""
+
+from conftest import write_result
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import TABLE_III, get_model
+from repro.profiling.model_profiler import profile_model
+from repro.server.experiment import isolated_baseline
+
+
+def test_table3_workloads(benchmark):
+    def run():
+        rows = []
+        for name, (paper_k, paper_rs, paper_p95) in TABLE_III.items():
+            model = get_model(name)
+            sens = profile_model(model, cu_counts=range(2, 61))
+            p95 = isolated_baseline(name).max_p95() * 1e3
+            rows.append([name, model.kernel_count, paper_k,
+                         sens.right_size, paper_rs, p95, paper_p95])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table3_workloads", format_table(
+        ["model", "#kernels", "(paper)", "right-size", "(paper)",
+         "p95 ms", "(paper)"],
+        rows,
+        title="Table III: inference workloads (measured vs paper)",
+    ))
+
+    for name, kernels, paper_k, right_size, paper_rs, p95, paper_p95 in rows:
+        assert kernels == paper_k, f"{name}: kernel count must be exact"
+        assert abs(right_size - paper_rs) <= 3, f"{name}: right-size"
+        assert abs(p95 - paper_p95) / paper_p95 <= 0.30, f"{name}: p95"

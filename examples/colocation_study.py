@@ -1,0 +1,60 @@
+"""Co-location study: four workers of one model under every policy.
+
+Reproduces one column of the paper's Fig. 13 interactively: runs 4
+concurrent workers of a chosen model under each spatial-partitioning
+policy at maximum load and prints normalized throughput, p95 latency
+versus the 2x SLO, and energy per inference.
+
+Run:  python examples/colocation_study.py [model] [workers]
+      e.g. python examples/colocation_study.py resnet152 4
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.models.zoo import MODEL_NAMES
+from repro.server.experiment import (
+    ExperimentConfig,
+    isolated_baseline,
+    normalized_rps,
+    run_experiment,
+    slo_target,
+)
+from repro.server.policies import POLICY_NAMES
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "resnet152"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    if model not in MODEL_NAMES:
+        raise SystemExit(f"unknown model {model!r}; pick from {MODEL_NAMES}")
+
+    base = isolated_baseline(model)
+    slo = slo_target(model)
+    print(f"{model} isolated: {base.total_rps:.0f} rps, "
+          f"p95 {base.max_p95() * 1e3:.1f} ms, "
+          f"{base.energy_per_request:.2f} J/request "
+          f"(SLO: p95 <= {slo * 1e3:.1f} ms)\n")
+
+    rows = []
+    for policy in POLICY_NAMES:
+        result = run_experiment(ExperimentConfig(
+            model_names=(model,) * workers, policy=policy))
+        rows.append([
+            policy,
+            normalized_rps(result),
+            result.max_p95() * 1e3,
+            result.meets_slo(),
+            result.energy_per_request / base.energy_per_request,
+            result.gpu_utilization,
+        ])
+    print(format_table(
+        ["policy", "norm rps", "p95 (ms)", "meets SLO", "E/req vs iso",
+         "util"],
+        rows,
+        title=f"{workers} co-located {model} workers (batch 32, max load)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Profile a custom model and visualise its kernel-wise right-sizing.
+
+Shows the full offline workflow a user of this library follows for a
+model that is not in the zoo:
+
+1. describe the model as kernel templates (here: a small custom CNN);
+2. profile every kernel's minimum-CU requirement into a performance
+   database (persisted to JSON, like MIOpen's perf DB);
+3. inspect the per-kernel minCU trace (the paper's Fig. 4 view) and the
+   model-level sensitivity curve (the Fig. 3 view).
+
+Run:  python examples/profile_custom_model.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.series import ascii_curve
+from repro.core.perfdb import PerfDatabase
+from repro.models.kernels import compute_kernel, full_gpu_kernel, streaming_kernel
+from repro.models.zoo import KernelSpec, ModelSpec
+from repro.profiling.kernel_profiler import KernelProfiler, build_database
+from repro.profiling.model_profiler import kernel_mincu_trace, profile_model
+
+
+def tiny_cnn() -> ModelSpec:
+    """A 3-conv-block CNN described directly as kernel templates."""
+    us = 1e-6
+    specs = []
+    for block, (min_cus, conv_us) in enumerate([(60, 800), (30, 400), (16, 200)]):
+        style = "full" if min_cus == 60 else "compute"
+        specs += [
+            KernelSpec(style, f"conv{block}", conv_us * us, min_cus=min_cus,
+                       flat=0.5),
+            KernelSpec("stream", "batchnorm", 20 * us, min_cus=8),
+            KernelSpec("stream", "relu", 10 * us, min_cus=4),
+            KernelSpec("stream", "maxpool", 15 * us, min_cus=8),
+        ]
+    specs.append(KernelSpec("compute", "classifier", 60 * us, min_cus=12))
+    return ModelSpec(name="tiny-cnn", specs=tuple(specs))
+
+
+def main() -> None:
+    model = tiny_cnn()
+    trace = model.trace(batch_size=32)
+
+    profiler = KernelProfiler()
+    database = build_database(trace, profiler)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "tiny-cnn-perfdb.json"
+        database.save(path)
+        reloaded = PerfDatabase.load(path)
+    print(f"profiled {len(reloaded)} kernels "
+          f"(database round-trips through JSON)\n")
+
+    print("per-kernel minimum required CUs over one inference pass "
+          "(the Fig. 4 view):")
+    mins = kernel_mincu_trace(model)
+    print("  " + " ".join(f"{m:2d}" for m in mins) + "\n")
+
+    sensitivity = profile_model(model, cu_counts=range(4, 61, 4))
+    print(ascii_curve(
+        sensitivity.cu_counts,
+        [lat * 1e3 for lat in sensitivity.latencies],
+        width=40,
+        label="inference latency (ms) vs active CUs (the Fig. 3 view):",
+    ))
+    print(f"\nmodel-wise right-size (kneepoint): "
+          f"{sensitivity.right_size} CUs")
+    print("kernel-wise right-sizing instead gives each kernel only what "
+          "it needs - compare the trace above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Open-loop serving: find the max sustainable rate under the SLO.
+
+Goes beyond the paper's max-load evaluation: drives a co-located
+deployment with Poisson arrivals at increasing rates, shows the
+queueing-inclusive latency curve, and binary-searches the highest rate
+whose p95 still meets the 2x-isolated SLO — for both Static Equal and
+KRISP-I, showing how much extra SLO-safe load kernel-wise right-sizing
+buys.
+
+Run:  python examples/rate_serving.py [model]
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.server.experiment import ExperimentConfig, isolated_baseline, slo_target
+from repro.server.rate_experiment import max_sustainable_rate, run_rate_experiment
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "squeezenet"
+    workers = 4
+    base = isolated_baseline(model)
+    slo = slo_target(model)
+    print(f"{model}: isolated {base.total_rps:.0f} rps; "
+          f"SLO p95 <= {slo * 1e3:.1f} ms\n")
+
+    rows = []
+    for factor in (0.5, 1.0, 2.0, 3.0):
+        config = ExperimentConfig(model_names=(model,) * workers,
+                                  policy="krisp-i")
+        result = run_rate_experiment(config,
+                                     offered_rps=factor * base.total_rps,
+                                     duration=1.0)
+        rows.append([f"{factor:.1f}x isolated", result.achieved_rps,
+                     result.latency.p95 * 1e3, result.saturated])
+    print(format_table(
+        ["offered load", "achieved rps", "p95 incl. queueing (ms)",
+         "saturated"],
+        rows, title=f"KRISP-I, {workers} workers, Poisson arrivals"))
+
+    print("\nmax sustainable rate under the SLO:")
+    for policy in ("static-equal", "krisp-i"):
+        config = ExperimentConfig(model_names=(model,) * workers,
+                                  policy=policy)
+        best = max_sustainable_rate(config, slo,
+                                    low_rps=0.5 * base.total_rps,
+                                    high_rps=4.0 * base.total_rps,
+                                    iterations=5)
+        print(f"  {policy:14s}: {best:.0f} rps "
+              f"({best / base.total_rps:.2f}x isolated)")
+
+
+if __name__ == "__main__":
+    main()

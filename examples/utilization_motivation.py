@@ -1,0 +1,106 @@
+"""The paper's Fig. 1 motivation, measured: where does the GPU idle?
+
+Runs the same co-located pair of models three ways and reconstructs the
+CU-utilization timeline from the device trace:
+
+1. temporal sharing (one model at a time, the Fig. 1-left baseline);
+2. model-wise right-sizing (each worker masked to its kneepoint,
+   Fig. 1-center) — allocated CUs shrink, but kernels inside each
+   partition still over-allocate;
+3. kernel-wise right-sizing (KRISP, Fig. 1-right) — allocation follows
+   each kernel's actual requirement.
+
+Run:  python examples/utilization_motivation.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.analysis.utilization import utilization_timeline
+from repro.core.krisp import KrispConfig, KrispSystem
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import get_model
+from repro.profiling.kernel_profiler import build_database
+from repro.runtime.hsa import HsaRuntime
+from repro.runtime.stream import Stream
+from repro.server.profiles import model_right_size
+from repro.sim.engine import Simulator
+
+MODELS = ("albert", "squeezenet")
+TOPO = GpuTopology.mi50()
+
+
+def run_temporal():
+    """One model at a time on the whole GPU (Fig. 1 left)."""
+    sim = Simulator()
+    device = GpuDevice(sim, record_trace=True)
+    runtime = HsaRuntime(sim, device)
+    stream = Stream(runtime)
+    for name in MODELS:
+        for desc in get_model(name).trace(32):
+            stream.launch_kernel(desc)
+    sim.run()
+    return device, sim.now
+
+
+def run_model_rightsize():
+    """Concurrent workers masked to their kneepoints (Fig. 1 center)."""
+    sim = Simulator()
+    device = GpuDevice(sim, record_trace=True)
+    runtime = HsaRuntime(sim, device)
+    offset = 0
+    for name in MODELS:
+        stream = Stream(runtime, name=name)
+        size = model_right_size(name, 32)
+        stream.queue.set_cu_mask(CUMask.from_cus(
+            TOPO, range(offset, offset + size)))
+        offset += size
+        for desc in get_model(name).trace(32):
+            stream.launch_kernel(desc)
+    sim.run()
+    return device, sim.now
+
+
+def run_krisp():
+    """Kernel-scoped partitions (Fig. 1 right)."""
+    sim = Simulator()
+    device = GpuDevice(sim, record_trace=True)
+    database = build_database(
+        [d for name in MODELS for d in get_model(name).trace(32)])
+    system = KrispSystem(sim, device, database,
+                         config=KrispConfig(overlap_limit=0))
+    for name in MODELS:
+        stream = system.create_stream(name)
+        for desc in get_model(name).trace(32):
+            stream.launch_kernel(desc)
+    sim.run()
+    return device, sim.now
+
+
+def main() -> None:
+    rows = []
+    for label, runner in (("temporal sharing", run_temporal),
+                          ("model-wise right-size", run_model_rightsize),
+                          ("kernel-wise (KRISP)", run_krisp)):
+        device, makespan = runner()
+        timeline = utilization_timeline(device.trace, TOPO, end=makespan)
+        rows.append([
+            label,
+            makespan * 1e3,
+            timeline.mean_allocated(),
+            timeline.mean_occupied(),
+            timeline.over_allocation() * 100,
+        ])
+    print(format_table(
+        ["strategy", "makespan (ms)", "mean CUs allocated",
+         "mean CUs occupied", "allocated-but-idle %"],
+        rows,
+        title=f"co-locating {' + '.join(MODELS)} (batch 32, one pass each)",
+    ))
+    print("\nKernel-wise right-sizing shrinks allocation to what kernels "
+          "actually occupy,\nfreeing the rest of the GPU for more "
+          "concurrent models.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""KRISP reproduction: kernel-wise right-sizing for spatially partitioned
+GPU inference servers (Chow, Jahanshahi, Wong - HPCA 2023).
+
+The package layers a complete inference-serving stack over a simulated
+AMD MI50-class GPU:
+
+* :mod:`repro.sim` - discrete-event engine;
+* :mod:`repro.gpu` - the device: topology, CU masks, queues, command
+  processor, dispatch timing model, power;
+* :mod:`repro.runtime` - ROCm-like streams, CU-masking API, and the
+  barrier-packet emulation of kernel-scoped partitions;
+* :mod:`repro.core` - KRISP itself: right-sizing, Algorithm 1 resource
+  allocation, the performance database;
+* :mod:`repro.profiling` - offline kernel/model profilers;
+* :mod:`repro.models` - the Table III model zoo;
+* :mod:`repro.server` - the inference server, partitioning policies, and
+  the co-location experiment harness;
+* :mod:`repro.baselines` - process-scoped prior-work baselines;
+* :mod:`repro.analysis` - result formatting and utilization analysis.
+
+Quick start::
+
+    from repro.core.krisp import KrispConfig, KrispSystem
+    from repro.gpu.device import GpuDevice
+    from repro.models.zoo import get_model
+    from repro.profiling.kernel_profiler import build_database
+    from repro.sim.engine import Simulator
+
+    model = get_model("resnet152")
+    database = build_database(model.trace(32))
+    sim = Simulator()
+    device = GpuDevice(sim)
+    system = KrispSystem(sim, device, database,
+                         config=KrispConfig(overlap_limit=0))
+    stream = system.create_stream()
+    for kernel in model.trace(32):
+        stream.launch_kernel(kernel)
+    sim.run()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

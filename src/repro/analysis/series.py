@@ -1,0 +1,43 @@
+"""Compact rendering of sweep curves (figure-shaped results)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_series", "ascii_curve"]
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    y_format: str = "{:.3g}",
+) -> str:
+    """Two-column listing of a sweep (the raw data behind a figure)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [f"{x_label:>12}  {y_label}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>12g}  {y_format.format(y)}")
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 48,
+    label: str = "",
+) -> str:
+    """One-line-per-point bar rendering of a curve, for quick shape checks
+    in benchmark logs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not ys:
+        return label
+    top = max(ys)
+    lines = [label] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * (0 if top == 0 else max(1, round(y / top * width)))
+        lines.append(f"{x:>8g} |{bar} {y:.3g}")
+    return "\n".join(lines)

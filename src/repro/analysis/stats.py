@@ -1,0 +1,76 @@
+"""Repeated-seed experiment statistics.
+
+The experiment harness is deterministic per seed; publication-grade
+results want means and confidence intervals over seeds.  This module
+repeats an experiment configuration across seeds and summarises any
+scalar metric with a Student-t confidence interval (scipy provides the
+critical values).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.server.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["MetricSummary", "repeat_experiment", "summarize"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and confidence interval of a scalar metric over seeds."""
+
+    mean: float
+    stddev: float
+    ci_low: float
+    ci_high: float
+    samples: int
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> MetricSummary:
+    """Student-t confidence interval for a sample of metric values."""
+    if not values:
+        raise ValueError("no values")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MetricSummary(mean, 0.0, mean, mean, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stddev = math.sqrt(variance)
+    t_crit = float(scipy_stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    half = t_crit * stddev / math.sqrt(n)
+    return MetricSummary(mean, stddev, mean - half, mean + half, n)
+
+
+def repeat_experiment(
+    config: ExperimentConfig,
+    metric: Callable[[ExperimentResult], float],
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    confidence: float = 0.95,
+) -> MetricSummary:
+    """Run ``config`` under each seed and summarise ``metric``.
+
+    Example::
+
+        summary = repeat_experiment(
+            ExperimentConfig(("albert",) * 2, policy="krisp-i"),
+            metric=lambda r: r.total_rps,
+            seeds=range(5),
+        )
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = [metric(run_experiment(replace(config, seed=seed)))
+              for seed in seeds]
+    return summarize(values, confidence)

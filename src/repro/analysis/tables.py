@@ -1,0 +1,51 @@
+"""Aligned text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    def cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, text in enumerate(cells):
+            parts.append(text.ljust(widths[i]) if i == 0
+                         else text.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

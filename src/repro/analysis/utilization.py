@@ -1,0 +1,94 @@
+"""CU-utilization timelines (the paper's Fig. 1 motivation view).
+
+Given a device's recorded kernel trace, reconstructs how many CUs were
+*allocated* and how many were *occupied* (actually holding workgroups)
+over time.  The gap between the device size and the occupied count is
+exactly the fine-grain under-utilisation KRISP harvests; comparing
+allocated versus occupied shows how much a model-wise partition
+over-provisions individual kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.device import KernelRecord
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["UtilizationTimeline", "utilization_timeline"]
+
+
+@dataclass(frozen=True)
+class UtilizationTimeline:
+    """Sampled CU usage over a window."""
+
+    times: tuple[float, ...]
+    allocated_cus: tuple[float, ...]
+    occupied_cus: tuple[float, ...]
+    total_cus: int
+
+    def mean_allocated(self) -> float:
+        """Time-average allocated CUs."""
+        return sum(self.allocated_cus) / len(self.allocated_cus)
+
+    def mean_occupied(self) -> float:
+        """Time-average occupied CUs."""
+        return sum(self.occupied_cus) / len(self.occupied_cus)
+
+    def under_utilization(self) -> float:
+        """Fraction of the device occupied by nothing, on average."""
+        return 1.0 - self.mean_occupied() / self.total_cus
+
+    def over_allocation(self) -> float:
+        """Fraction of allocated CUs that held no workgroups, on average.
+
+        This is the fine-grain waste *within* partitions that model-wise
+        right-sizing cannot recover and kernel-wise right-sizing does.
+        """
+        allocated = self.mean_allocated()
+        if allocated == 0:
+            return 0.0
+        return 1.0 - self.mean_occupied() / allocated
+
+
+def utilization_timeline(
+    trace: Sequence[KernelRecord],
+    topology: GpuTopology,
+    start: float = 0.0,
+    end: float | None = None,
+    samples: int = 200,
+) -> UtilizationTimeline:
+    """Sample allocated/occupied CU counts from a device kernel trace.
+
+    ``trace`` is ``device.trace`` recorded with ``record_trace=True``;
+    incomplete records (still running at the end of simulation) are
+    ignored.  Overlapping kernels cap at the device size.
+    """
+    finished = [r for r in trace if r.end_time is not None]
+    if end is None:
+        end = max((r.end_time for r in finished), default=start)
+    if end <= start:
+        raise ValueError("empty sampling window")
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+
+    step = (end - start) / samples
+    times, allocated, occupied = [], [], []
+    for i in range(samples):
+        t = start + (i + 0.5) * step
+        alloc = 0
+        occ = 0
+        for record in finished:
+            if record.start_time <= t < record.end_time:
+                alloc += record.mask.count()
+                occ += sum(record.occupied_per_se)
+        times.append(t)
+        allocated.append(min(alloc, topology.total_cus))
+        occupied.append(min(occ, topology.total_cus))
+    return UtilizationTimeline(
+        times=tuple(times),
+        allocated_cus=tuple(allocated),
+        occupied_cus=tuple(occupied),
+        total_cus=topology.total_cus,
+    )

@@ -1,0 +1,32 @@
+"""Process-scoped baselines (paper Tables I and II).
+
+Prior spatially partitioned inference servers (GSLICE, Gpulet,
+PARIS/ELSA) build on MPS/MIG, whose partitions are *process-scoped*:
+resizing means configuring a new instance, starting a new ML backend
+process, and reloading the model onto the GPU — tens of seconds — which
+they mask with shadow/background instances.  This package models those
+reconfiguration timelines so the overhead comparison of Tables I/II can
+be regenerated, and contrasts them with stream-scoped CU masking
+(milliseconds of IOCTL) and KRISP's kernel-scoped resize (microseconds of
+firmware).
+"""
+
+from repro.baselines.process_scoped import (
+    ProcessScopedInstance,
+    ReloadCostModel,
+    ShadowInstanceServer,
+)
+from repro.baselines.resize_paths import (
+    RESIZE_MECHANISMS,
+    ResizeMechanism,
+    resize_latency,
+)
+
+__all__ = [
+    "ProcessScopedInstance",
+    "ReloadCostModel",
+    "ShadowInstanceServer",
+    "RESIZE_MECHANISMS",
+    "ResizeMechanism",
+    "resize_latency",
+]

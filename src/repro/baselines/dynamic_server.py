@@ -1,0 +1,200 @@
+"""Dynamic multi-model serving: epoch-based repartitioning vs KRISP.
+
+This module reproduces the *dynamics* of paper Fig. 2.  Two servers share
+an interface — "start serving model M now" — and differ in how partitions
+come to exist:
+
+* :class:`ModelWiseDynamicServer` (Gpulet/GSLICE-style): each model runs
+  in a process-scoped instance.  Admitting or right-sizing a model means
+  booting a (shadow) instance — partition config, backend start, model
+  load — and repartitioning decisions are only taken at epoch boundaries
+  (e.g. every 20 s).  Existing models keep serving on their old
+  partitions while shadows boot (the masking techniques of Table II).
+
+* :class:`KrispDynamicServer`: models share one KRISP-enabled runtime;
+  a newly admitted model simply starts launching kernels, each
+  right-sized and allocated in microseconds.  There is nothing to reload
+  and no epoch.
+
+The measurable difference is *time-to-first-inference* for a newly
+admitted model and the repartitioning lag for existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.baselines.process_scoped import ReloadCostModel
+from repro.core.krisp import KrispConfig, KrispSystem
+from repro.core.perfdb import PerfDatabase
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.models.zoo import get_model
+from repro.profiling.kernel_profiler import build_database
+from repro.runtime.hsa import HsaRuntime
+from repro.runtime.stream import Stream
+from repro.server.profiles import model_right_size
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+__all__ = ["ServedModel", "ModelWiseDynamicServer", "KrispDynamicServer"]
+
+
+@dataclass
+class ServedModel:
+    """Bookkeeping for one admitted model."""
+
+    name: str
+    admitted_at: float
+    first_response_at: Optional[float] = None
+    completed_passes: int = 0
+    stream: Optional[Stream] = None
+    partition: Optional[CUMask] = None
+    serving: bool = False
+    stop: bool = field(default=False, repr=False)
+
+    @property
+    def time_to_first_inference(self) -> float:
+        """Seconds from admission until the first inference completes."""
+        if self.first_response_at is None:
+            raise ValueError(f"{self.name} never responded")
+        return self.first_response_at - self.admitted_at
+
+
+class _DynamicServerBase:
+    """Shared closed-loop serving machinery."""
+
+    def __init__(self, sim: Simulator, device: GpuDevice,
+                 batch_size: int = 32) -> None:
+        self.sim = sim
+        self.device = device
+        self.batch_size = batch_size
+        self.models: dict[str, ServedModel] = {}
+
+    def _serve_loop(self, served: ServedModel) -> Iterator:
+        """Closed-loop inference passes on the model's stream."""
+        trace = get_model(served.name).trace(self.batch_size,
+                                             self.device.topology)
+        served.serving = True
+        while not served.stop:
+            for desc in trace:
+                served.stream.launch_kernel(desc, tag=served.name)
+            yield served.stream.synchronize_signal()
+            served.completed_passes += 1
+            if served.first_response_at is None:
+                served.first_response_at = self.sim.now
+        served.serving = False
+
+    def stop_all(self) -> None:
+        """Ask every serve loop to exit after its current pass."""
+        for served in self.models.values():
+            served.stop = True
+
+
+class ModelWiseDynamicServer(_DynamicServerBase):
+    """Process-scoped instances, resized only at epoch boundaries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        epoch: float = 20.0,
+        reload_costs: Optional[ReloadCostModel] = None,
+        batch_size: int = 32,
+    ) -> None:
+        super().__init__(sim, device, batch_size)
+        if epoch <= 0:
+            raise ValueError("epoch must be > 0")
+        self.epoch = epoch
+        self.reload_costs = reload_costs or ReloadCostModel()
+        self.runtime = HsaRuntime(sim, device)
+        self.reconfigurations = 0
+        self._pending_admissions: list[ServedModel] = []
+        self._next_epoch = 0.0
+        self._schedule_epoch()
+
+    def _schedule_epoch(self) -> None:
+        self._next_epoch = self.sim.now + self.epoch
+        self.sim.schedule(self._next_epoch, self._epoch_boundary)
+
+    def admit(self, model_name: str) -> ServedModel:
+        """Request serving of a model; honoured at the next epoch."""
+        served = ServedModel(name=model_name, admitted_at=self.sim.now)
+        self.models[model_name] = served
+        self._pending_admissions.append(served)
+        return served
+
+    def _epoch_boundary(self) -> None:
+        admissions, self._pending_admissions = self._pending_admissions, []
+        if admissions:
+            self._repartition(admissions)
+        self._schedule_epoch()
+
+    def _repartition(self, admissions: list[ServedModel]) -> None:
+        """Boot shadow instances for the new partition layout, then swap.
+
+        All active models are re-right-sized; existing ones keep serving
+        on their old masks until the shadows are ready (downtime masking).
+        """
+        self.reconfigurations += 1
+        active = [s for s in self.models.values() if not s.stop]
+        sizes = {s.name: model_right_size(s.name, self.batch_size)
+                 for s in active}
+        total = sum(sizes.values())
+        scale = min(1.0, self.device.topology.total_cus / max(1, total))
+        layout: dict[str, CUMask] = {}
+        offset = 0
+        for served in active:
+            width = max(1, int(sizes[served.name] * scale))
+            width = min(width, self.device.topology.total_cus - offset)
+            layout[served.name] = CUMask.from_cus(
+                self.device.topology, range(offset, offset + width))
+            offset += width
+
+        def boot_and_swap() -> Iterator:
+            # Shadow instances boot serially on the host (config + backend
+            # start + model load per instance needing a reload).
+            for _served in admissions:
+                yield self.reload_costs.total_reload
+            yield self.reload_costs.swap_downtime
+            for served in active:
+                if served.stream is None:
+                    served.stream = Stream(self.runtime, name=served.name)
+                    Process(self.sim, self._serve_loop(served),
+                            name=f"{served.name}.serve")
+                served.partition = layout[served.name]
+                served.stream.queue.set_cu_mask(layout[served.name])
+
+        Process(self.sim, boot_and_swap(), name="repartition")
+
+
+class KrispDynamicServer(_DynamicServerBase):
+    """One KRISP runtime; admission is instantaneous."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        database: Optional[PerfDatabase] = None,
+        config: Optional[KrispConfig] = None,
+        batch_size: int = 32,
+    ) -> None:
+        super().__init__(sim, device, batch_size)
+        self.database = database if database is not None else PerfDatabase()
+        self.system = KrispSystem(
+            sim, device, self.database,
+            config=config or KrispConfig(overlap_limit=0))
+
+    def admit(self, model_name: str) -> ServedModel:
+        """Start serving immediately: profile-on-admission is a database
+        merge (install-time in practice), partition sizing is per kernel."""
+        served = ServedModel(name=model_name, admitted_at=self.sim.now)
+        self.models[model_name] = served
+        trace = get_model(model_name).trace(self.batch_size,
+                                            self.device.topology)
+        self.database.merge(build_database(trace))
+        served.stream = self.system.create_stream(model_name)
+        Process(self.sim, self._serve_loop(served),
+                name=f"{model_name}.serve")
+        return served

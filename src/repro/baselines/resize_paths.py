@@ -1,0 +1,81 @@
+"""Reconfiguration-path latency comparison (paper Table I).
+
+Measures, on the simulated stack, the end-to-end latency of resizing a
+spatial partition through each mechanism:
+
+* **process-scoped** (MPS/MIG): full instance reload
+  (:class:`~repro.baselines.process_scoped.ProcessScopedInstance`);
+* **stream-scoped** (AMD CU-masking API): one serialised IOCTL;
+* **kernel-scoped** (KRISP): firmware mask generation inside the packet
+  processor — no runtime round-trip at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.process_scoped import ProcessScopedInstance, ReloadCostModel
+from repro.gpu.command_processor import CommandProcessorConfig
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.topology import GpuTopology
+from repro.runtime.hsa import HsaRuntime
+from repro.runtime.ioctl import IoctlModel
+from repro.sim.engine import Simulator
+
+__all__ = ["ResizeMechanism", "RESIZE_MECHANISMS", "resize_latency"]
+
+
+@dataclass(frozen=True)
+class ResizeMechanism:
+    """One row of the Table I comparison."""
+
+    name: str
+    scope: str
+    programmer_transparent: bool
+    allows_oversubscription: bool
+
+
+RESIZE_MECHANISMS: tuple[ResizeMechanism, ...] = (
+    ResizeMechanism("mps", "process", True, True),
+    ResizeMechanism("mig", "process", True, False),
+    ResizeMechanism("cu-masking", "stream", False, True),
+    ResizeMechanism("kernel-scoped", "kernel", True, True),
+)
+
+
+def resize_latency(mechanism: str,
+                   costs: Optional[ReloadCostModel] = None) -> float:
+    """Simulated latency of one partition resize through ``mechanism``.
+
+    Returns seconds from the resize request until the new partition can
+    serve kernels.
+    """
+    sim = Simulator()
+    topology = GpuTopology.mi50()
+    if mechanism in ("mps", "mig"):
+        instance = ProcessScopedInstance(sim, costs or ReloadCostModel(),
+                                         partition_size=60)
+        sim.run()  # initial boot
+        start = sim.now
+        instance.resize(30)
+        sim.run()
+        return sim.now - start
+    if mechanism == "cu-masking":
+        device = GpuDevice(sim, topology)
+        runtime = HsaRuntime(sim, device, ioctl=IoctlModel(sim))
+        queue = runtime.create_queue("q")
+        start = sim.now
+        done = []
+        runtime.set_queue_cu_mask(queue, CUMask.first_n(topology, 30),
+                                  on_done=lambda: done.append(sim.now))
+        sim.run()
+        if not done:
+            raise RuntimeError("IOCTL never completed")
+        return done[0] - start
+    if mechanism == "kernel-scoped":
+        # The mask is generated in firmware while the packet is processed;
+        # the incremental resize cost is the mask-generation latency.
+        return CommandProcessorConfig().mask_gen_latency
+    raise KeyError(f"unknown mechanism {mechanism!r}")

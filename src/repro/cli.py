@@ -1,0 +1,150 @@
+"""Command-line interface: ``krisp-repro``.
+
+Subcommands wrap the library's main entry points so the reproduction can
+be explored without writing code:
+
+* ``profile MODEL`` — Fig. 3/Fig. 4 views of one model: the CU-restriction
+  sensitivity curve and the per-kernel minimum-CU trace.
+* ``colocate MODEL [MODEL...]`` — one co-location cell: throughput,
+  p95 vs SLO, and energy per inference under a chosen policy.
+* ``table3`` — regenerate the Table III workload characterisation.
+* ``rate MODEL --rps N`` — open-loop serving at a fixed request rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.series import ascii_curve
+from repro.analysis.tables import format_table
+from repro.models.zoo import ALL_MODEL_NAMES, TABLE_III, get_model
+from repro.profiling.model_profiler import kernel_mincu_trace, profile_model
+from repro.server.experiment import (
+    ExperimentConfig,
+    isolated_baseline,
+    normalized_rps,
+    run_experiment,
+    slo_target,
+)
+from repro.server.policies import POLICY_NAMES
+from repro.server.rate_experiment import run_rate_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    sensitivity = profile_model(model, batch_size=args.batch,
+                                cu_counts=range(4, 61, 4))
+    print(ascii_curve(
+        sensitivity.cu_counts,
+        [lat * 1e3 for lat in sensitivity.latencies],
+        width=40,
+        label=f"{model.name} latency (ms) vs active CUs (batch {args.batch})",
+    ))
+    print(f"\nmodel-wise right-size: {sensitivity.right_size} CUs"
+          + (f" (paper: {TABLE_III[model.name][1]})"
+             if model.name in TABLE_III else ""))
+    mins = kernel_mincu_trace(model, batch_size=args.batch)
+    small = sum(1 for m in mins if m <= 15)
+    print(f"kernel-wise: {len(mins)} kernels/pass, {small} need <=15 CUs, "
+          f"{sum(1 for m in mins if m >= 50)} need >=50 CUs")
+    return 0
+
+
+def _cmd_colocate(args: argparse.Namespace) -> int:
+    names = tuple(args.models) * args.workers if len(args.models) == 1 \
+        else tuple(args.models)
+    result = run_experiment(ExperimentConfig(
+        model_names=names, policy=args.policy, batch_size=args.batch))
+    rows = []
+    for worker in result.workers:
+        slo = slo_target(worker.model_name, args.batch) * 1e3
+        rows.append([worker.model_name, worker.rps,
+                     worker.latency.p95 * 1e3, slo,
+                     worker.latency.p95 * 1e3 <= slo])
+    print(format_table(
+        ["model", "rps", "p95 (ms)", "SLO (ms)", "meets SLO"], rows,
+        title=f"{len(names)} workers under {args.policy} "
+              f"(batch {args.batch})"))
+    print(f"\nnormalized system throughput: {normalized_rps(result):.2f}x")
+    print(f"energy per inference: {result.energy_per_request:.2f} J")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    rows = []
+    for name, (paper_k, paper_rs, paper_p95) in TABLE_III.items():
+        model = get_model(name)
+        sens = profile_model(model, cu_counts=range(2, 61))
+        p95 = isolated_baseline(name).max_p95() * 1e3
+        rows.append([name, model.kernel_count, paper_k, sens.right_size,
+                     paper_rs, p95, paper_p95])
+    print(format_table(
+        ["model", "#kernels", "(paper)", "right-size", "(paper)",
+         "p95 ms", "(paper)"],
+        rows, title="Table III (measured vs paper)"))
+    return 0
+
+
+def _cmd_rate(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        model_names=(args.model,) * args.workers, policy=args.policy,
+        batch_size=args.batch)
+    result = run_rate_experiment(config, offered_rps=args.rps,
+                                 duration=args.duration)
+    print(f"offered {result.offered_rps:.0f} rps -> achieved "
+          f"{result.achieved_rps:.0f} rps")
+    print(f"p95 latency (incl. queueing): {result.latency.p95 * 1e3:.2f} ms")
+    print(f"saturated: {'yes' if result.saturated else 'no'} "
+          f"(queue residue {result.queue_residue})")
+    return 1 if result.saturated else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``krisp-repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="krisp-repro",
+        description="KRISP (HPCA 2023) reproduction on a simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="model sensitivity + kernel trace")
+    profile.add_argument("model", choices=ALL_MODEL_NAMES)
+    profile.add_argument("--batch", type=int, default=32)
+    profile.set_defaults(func=_cmd_profile)
+
+    colocate = sub.add_parser("colocate", help="run one co-location cell")
+    colocate.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
+    colocate.add_argument("--workers", "-n", type=int, default=2,
+                          help="replicas when a single model is given")
+    colocate.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                          default="krisp-i")
+    colocate.add_argument("--batch", type=int, default=32)
+    colocate.set_defaults(func=_cmd_colocate)
+
+    table3 = sub.add_parser("table3", help="regenerate Table III")
+    table3.set_defaults(func=_cmd_table3)
+
+    rate = sub.add_parser("rate", help="open-loop serving at a fixed rate")
+    rate.add_argument("model", choices=ALL_MODEL_NAMES)
+    rate.add_argument("--rps", type=float, required=True)
+    rate.add_argument("--workers", "-n", type=int, default=2)
+    rate.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                      default="krisp-i")
+    rate.add_argument("--batch", type=int, default=32)
+    rate.add_argument("--duration", type=float, default=2.0)
+    rate.set_defaults(func=_cmd_rate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Partition resource-mask generation (paper Algorithm 1 and Fig. 7).
+
+Given a requested partition size in CUs, the generator decides *which*
+CUs to hand the kernel:
+
+1. **How many SEs?**  Per the distribution policy — *Packed* fills one SE
+   before spilling into the next; *Distributed* spreads over every SE;
+   *Conserved* (the paper's choice) uses the fewest SEs that fit the
+   request and spreads evenly across them, avoiding both the Packed
+   imbalance spikes and the Distributed ceil-steps of Fig. 8.
+2. **Which SEs?**  The least-loaded first, by summing the per-CU kernel
+   counters inside each SE (Algorithm 1 lines 4-8).
+3. **Which CUs inside an SE?**  The least-loaded first (line 12).  A CU
+   that already holds a kernel counts against the *overlap limit*; once
+   the limit is exhausted, further occupied CUs are skipped but still
+   consume the allocation budget (lines 13-22), so the kernel may receive
+   fewer CUs than requested — exactly KRISP-I's behaviour when isolated
+   resources run out.
+
+When isolation leaves a kernel with almost nothing, the paper notes that
+"if there are not enough CUs to isolate kernels, we may allow them to
+overlap": the generator enforces a *fair-share floor* — at least
+``total_cus / (active_kernels + 1)`` CUs (capped at the request) — by
+overlapping onto the least-loaded CUs.  Without the floor, a late kernel
+squeezed to one or two CUs convoys the whole stream.  The generator also
+never returns an empty mask (hardware cannot schedule a kernel with no
+CUs, and the emulation's queue mask may not be empty).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Optional
+
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["DistributionPolicy", "ResourceMaskGenerator", "se_distribution"]
+
+
+class DistributionPolicy(Enum):
+    """How requested CUs are spread across shader engines (Fig. 7)."""
+
+    PACKED = "packed"
+    DISTRIBUTED = "distributed"
+    CONSERVED = "conserved"
+
+
+def se_distribution(
+    num_cus: int, topology: GpuTopology, policy: DistributionPolicy
+) -> list[int]:
+    """Target CU count per SE *position* (before load-aware SE choice).
+
+    Returns a descending list of per-SE CU counts; the generator later maps
+    positions onto concrete SEs ordered by load.
+    """
+    if not 1 <= num_cus <= topology.total_cus:
+        raise ValueError(
+            f"num_cus={num_cus} out of range [1, {topology.total_cus}]"
+        )
+    per_se = topology.cus_per_se
+    if policy is DistributionPolicy.PACKED:
+        counts = []
+        remaining = num_cus
+        while remaining > 0:
+            take = min(per_se, remaining)
+            counts.append(take)
+            remaining -= take
+        counts += [0] * (topology.num_se - len(counts))
+        return counts
+    if policy is DistributionPolicy.DISTRIBUTED:
+        num_se = topology.num_se
+    else:  # CONSERVED: least SEs that satisfy the request (Alg. 1 line 2)
+        num_se = math.ceil(num_cus / per_se)
+    base, remainder = divmod(num_cus, num_se)
+    counts = [base + (1 if i < remainder else 0) for i in range(num_se)]
+    counts += [0] * (topology.num_se - num_se)
+    return counts
+
+
+class ResourceMaskGenerator:
+    """Implements Algorithm 1: load-aware CU-mask generation."""
+
+    def __init__(
+        self,
+        topology: GpuTopology,
+        policy: DistributionPolicy = DistributionPolicy.CONSERVED,
+        overlap_limit: Optional[int] = None,
+        reshape: bool = True,
+    ) -> None:
+        """``overlap_limit`` is the number of already-occupied CUs a new
+        kernel may share; ``None`` means unlimited (KRISP-O), ``0`` means
+        fully isolated (KRISP-I).
+
+        ``reshape=True`` (the default, a refinement over the paper's
+        single-pass Algorithm 1) regenerates shrunk allocations into a
+        balanced distribution shape; ``reshape=False`` keeps the literal
+        single-pass behaviour, whose ragged masks reproduce the paper's
+        Fig. 16 overlap-limit spikes.
+        """
+        self.topology = topology
+        self.policy = policy
+        if overlap_limit is None:
+            overlap_limit = topology.total_cus
+        if overlap_limit < 0:
+            raise ValueError("overlap_limit must be >= 0")
+        self.overlap_limit = overlap_limit
+        self.reshape = reshape
+        self.masks_generated = 0
+
+    def generate(self, num_cus: int, counters: CUKernelCounters) -> CUMask:
+        """Generate a CU mask for a kernel requesting ``num_cus`` CUs.
+
+        Two passes: the first runs Algorithm 1 under the overlap limit to
+        size the *grant* (how many CUs this kernel gets, respecting the
+        fair-share floor); the second regenerates a properly
+        distribution-shaped mask of exactly that size on the least-loaded
+        CUs.  A single pass that merely skips occupied CUs produces
+        ragged masks — e.g. one straggler CU in an otherwise unused SE —
+        which the equal-split workgroup dispatcher punishes exactly like
+        the Packed-policy spikes of Fig. 8.
+
+        The fair-share floor is sized from the device's current CU load
+        (total kernel-CU assignments over the device size), so a swarm of
+        tiny kernels does not starve a large one.  In isolation mode
+        (``overlap_limit == 0``) the request is additionally *capped* at
+        the larger of the free pool and the fair share: without the cap
+        the first big kernel grabs its full minimum and every later
+        kernel convoys on leftovers; with it, co-located big-kernel
+        models converge to clean fair-share partitions (the behaviour
+        KRISP-I's Fig. 13 results rely on).
+        """
+        topo = self.topology
+        num_cus = max(1, min(num_cus, topo.total_cus))
+        load = -(-counters.total_assigned() // topo.total_cus)  # ceil
+        floor = max(1, topo.total_cus // (load + 1))
+        if self.overlap_limit == 0:
+            free = topo.total_cus - counters.busy_cus()
+            num_cus = min(num_cus, max(floor, free))
+        floor = min(floor, num_cus)
+
+        selected = self._select(num_cus, counters, self.overlap_limit)
+        if len(selected) < num_cus:
+            if self.reshape:
+                # The overlap budget shrank (or raggedified) the
+                # allocation: regrant at the floor-respecting size with
+                # overlap permitted, so the final mask keeps the
+                # distribution policy's shape ("we may allow them to
+                # overlap", Section IV-C2).
+                grant = max(len(selected), floor)
+                selected = self._select(grant, counters, topo.total_cus)
+            elif len(selected) < floor:
+                # Literal Algorithm 1 + floor: top up with the least
+                # loaded CUs, accepting a possibly ragged shape.
+                chosen = set(selected)
+                extras = sorted(
+                    (cu for cu in range(topo.total_cus)
+                     if cu not in chosen),
+                    key=lambda cu: (counters.count(cu), cu),
+                )
+                selected.extend(extras[:floor - len(selected)])
+
+        self.masks_generated += 1
+        return CUMask.from_cus(topo, selected)
+
+    def _select(self, num_cus: int, counters: CUKernelCounters,
+                overlap_limit: int) -> list[int]:
+        """One Algorithm-1 selection pass under ``overlap_limit``."""
+        topo = self.topology
+        targets = se_distribution(num_cus, topo, self.policy)
+
+        # Order SEs least-loaded first (Alg. 1 lines 4-8); ties by index
+        # for determinism.
+        se_order = sorted(range(topo.num_se),
+                          key=lambda se: (counters.se_load(se), se))
+
+        selected: list[int] = []
+        overlapped = 0
+        allocated = 0
+        for position, se in enumerate(se_order):
+            want = targets[position]
+            if want == 0 or allocated >= num_cus:
+                break
+            # Order CUs in this SE least-loaded first (Alg. 1 line 12).
+            cu_order = sorted(topo.cus_in_se(se),
+                              key=lambda cu: (counters.count(cu), cu))
+            taken_in_se = 0
+            for cu in cu_order:
+                if taken_in_se >= want or allocated >= num_cus:
+                    break
+                occupied = counters.count(cu) > 0
+                if occupied:
+                    overlapped += 1
+                if not occupied or overlapped <= overlap_limit:
+                    selected.append(cu)
+                taken_in_se += 1
+                allocated += 1
+        return selected

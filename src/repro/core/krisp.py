@@ -1,0 +1,123 @@
+"""KRISP assembly: the command-processor allocator and a system facade.
+
+:class:`KrispAllocator` is the hardware half — installed into the GPU
+command processor, it turns each kernel's injected partition size into a
+CU mask by running Algorithm 1 against the live per-CU kernel counters
+(paper Fig. 10b).
+
+:class:`KrispSystem` is a convenience facade wiring a complete
+KRISP-enabled stack over a device: performance database, right-sizer,
+allocator, HSA runtime, and stream construction in either *native* mode
+(the proposed hardware) or *emulated* mode (the paper's evaluation
+vehicle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.core.perfdb import PerfDatabase
+from repro.core.rightsizing import KernelRightSizer
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelLaunch
+from repro.runtime.emulation import EmulatedKernelScopedStream, EmulationConfig
+from repro.runtime.hsa import HsaRuntime
+from repro.runtime.stream import Stream
+from repro.sim.engine import Simulator
+
+__all__ = ["KrispAllocator", "KrispConfig", "KrispSystem"]
+
+
+@dataclass(frozen=True)
+class KrispConfig:
+    """Policy knobs for a KRISP deployment.
+
+    ``overlap_limit=None`` permits unlimited CU oversubscription (the
+    paper's *KRISP-O*); ``overlap_limit=0`` enforces isolation
+    (*KRISP-I*); intermediate values reproduce the Fig. 16 sensitivity
+    sweep.
+    """
+
+    distribution: DistributionPolicy = DistributionPolicy.CONSERVED
+    overlap_limit: Optional[int] = None
+    margin_cus: int = 0
+    #: Regenerate shrunk allocations into balanced shapes (see
+    #: :class:`repro.core.allocation.ResourceMaskGenerator`).
+    reshape: bool = True
+
+
+class KrispAllocator:
+    """The packet-processor extension: partition size -> CU mask."""
+
+    def __init__(self, generator: ResourceMaskGenerator) -> None:
+        self.generator = generator
+        self.allocations = 0
+        self.short_allocations = 0
+
+    def allocate(self, launch: KernelLaunch, device: GpuDevice) -> CUMask:
+        """Generate this kernel's resource mask from the live counters.
+
+        A launch without sizing information receives the full device —
+        the safe default for unprofiled kernels.
+        """
+        requested = launch.requested_cus
+        if requested is None:
+            requested = device.topology.total_cus
+        mask = self.generator.generate(requested, device.counters)
+        self.allocations += 1
+        if mask.count() < min(requested, device.topology.total_cus):
+            self.short_allocations += 1
+        return mask
+
+
+class KrispSystem:
+    """A fully wired KRISP stack over one simulated device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        database: PerfDatabase,
+        config: Optional[KrispConfig] = None,
+        emulation: Optional[EmulationConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.database = database
+        self.config = config or KrispConfig()
+        self.emulation_config = emulation or EmulationConfig()
+        generator = ResourceMaskGenerator(
+            device.topology,
+            policy=self.config.distribution,
+            overlap_limit=self.config.overlap_limit,
+            reshape=self.config.reshape,
+        )
+        self.allocator = KrispAllocator(generator)
+        self.rightsizer = KernelRightSizer(
+            database, device.topology, margin_cus=self.config.margin_cus
+        )
+        self.runtime = HsaRuntime(sim, device, allocator=self.allocator)
+
+    def create_stream(
+        self, name: str = "", emulated: bool = False
+    ) -> Union[Stream, EmulatedKernelScopedStream]:
+        """Create a KRISP-enabled stream.
+
+        ``emulated=False`` (default) models the proposed hardware: the
+        stream tags launches with partition sizes and the extended packet
+        processor generates masks in firmware.  ``emulated=True`` models
+        the paper's evaluation platform: barrier packets plus IOCTL mask
+        reconfiguration around every kernel.
+        """
+        if emulated:
+            return EmulatedKernelScopedStream(
+                self.runtime,
+                allocator=self.allocator,
+                sizer=self.rightsizer,
+                config=self.emulation_config,
+                name=name,
+            )
+        return Stream(self.runtime, name=name, rightsizer=self.rightsizer)

@@ -1,0 +1,103 @@
+"""Per-kernel performance database.
+
+The paper keys right-sizing decisions on *kernel type plus kernel size
+plus input size* (Section IV-B1: neither size alone predicts the minimum
+CU requirement).  The database maps that key to the profiled minimum CU
+count, mirrors MIOpen/rocBLAS install-time performance databases, and
+serialises to JSON so profiling is amortised across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.gpu.kernel import KernelDescriptor
+
+__all__ = ["KernelKey", "PerfDatabase"]
+
+
+@dataclass(frozen=True)
+class KernelKey:
+    """Lookup key: kernel type + kernel size + input size."""
+
+    name: str
+    kernel_size: int
+    bytes_in: int
+
+    @classmethod
+    def of(cls, desc: KernelDescriptor) -> "KernelKey":
+        """Key for a descriptor."""
+        return cls(desc.name, desc.kernel_size, desc.bytes_in)
+
+    def encode(self) -> str:
+        """Stable string form used in the JSON serialisation."""
+        return f"{self.name}|{self.kernel_size}|{self.bytes_in}"
+
+    @classmethod
+    def decode(cls, text: str) -> "KernelKey":
+        """Inverse of :meth:`encode`."""
+        name, kernel_size, bytes_in = text.rsplit("|", 2)
+        return cls(name, int(kernel_size), int(bytes_in))
+
+
+class PerfDatabase:
+    """Profiled minimum-CU requirements, keyed by :class:`KernelKey`."""
+
+    def __init__(self) -> None:
+        self._min_cus: dict[KernelKey, int] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    def record(self, desc: KernelDescriptor, min_cus: int) -> None:
+        """Store the profiled minimum CU count for a kernel."""
+        if min_cus < 1:
+            raise ValueError("min_cus must be >= 1")
+        self._min_cus[KernelKey.of(desc)] = min_cus
+
+    def lookup(self, desc: KernelDescriptor) -> Optional[int]:
+        """Profiled minimum CUs, or ``None`` for an unprofiled kernel."""
+        self.lookups += 1
+        value = self._min_cus.get(KernelKey.of(desc))
+        if value is None:
+            self.misses += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._min_cus)
+
+    def __contains__(self, desc: KernelDescriptor) -> bool:
+        return KernelKey.of(desc) in self._min_cus
+
+    def entries(self) -> Iterator[tuple[KernelKey, int]]:
+        """All (key, min_cus) pairs, in insertion order."""
+        return iter(self._min_cus.items())
+
+    # -- persistence ---------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        payload = {key.encode(): value for key, value in self._min_cus.items()}
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfDatabase":
+        """Deserialise from :meth:`to_json` output."""
+        db = cls()
+        for encoded, value in json.loads(text).items():
+            db._min_cus[KernelKey.decode(encoded)] = int(value)
+        return db
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the database to a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PerfDatabase":
+        """Read a database written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    def merge(self, other: "PerfDatabase") -> None:
+        """Adopt every entry of ``other`` (other wins on conflicts)."""
+        self._min_cus.update(other._min_cus)

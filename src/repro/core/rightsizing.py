@@ -1,0 +1,47 @@
+"""Kernel-wise right-sizing (the runtime half of KRISP).
+
+A :class:`KernelRightSizer` is installed as a stream's right-sizer hook:
+it intercepts every kernel launch, looks the kernel up in the performance
+database, and returns the partition size to inject into the AQL packet.
+Unprofiled kernels fall back to the full device (never *shrinking* a
+kernel blindly), optionally recording the miss so an offline profiling
+pass can fill the gap — the paper amortises this at library install time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.perfdb import PerfDatabase
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["KernelRightSizer"]
+
+
+class KernelRightSizer:
+    """Maps a kernel descriptor to its requested partition size in CUs."""
+
+    def __init__(
+        self,
+        database: PerfDatabase,
+        topology: GpuTopology,
+        margin_cus: int = 0,
+    ) -> None:
+        """``margin_cus`` optionally pads every right-size by a safety
+        margin (an ablation knob; the paper uses the raw profiled minimum).
+        """
+        if margin_cus < 0:
+            raise ValueError("margin_cus must be >= 0")
+        self.database = database
+        self.topology = topology
+        self.margin_cus = margin_cus
+        self.unprofiled: set[str] = set()
+
+    def __call__(self, desc: KernelDescriptor) -> Optional[int]:
+        """Requested CU count for ``desc`` (the Stream right-sizer hook)."""
+        min_cus = self.database.lookup(desc)
+        if min_cus is None:
+            self.unprofiled.add(desc.name)
+            return self.topology.total_cus
+        return min(self.topology.total_cus, min_cus + self.margin_cus)

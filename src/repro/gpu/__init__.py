@@ -1,0 +1,22 @@
+"""Simulated AMD-style GPU substrate.
+
+This package models everything KRISP's evaluation platform exposes below
+the runtime: the shader-engine/compute-unit topology
+(:mod:`~repro.gpu.topology`), CU bitmasks (:mod:`~repro.gpu.cu_mask`),
+kernels and AQL packets, software HSA queues, the command processor that
+consumes packets and applies spatial-partition masks, a workgroup
+dispatcher timing model (:mod:`~repro.gpu.exec_model`) with AMD's
+equal-split-across-SEs scheduling, per-CU kernel counters, and a CU/SE
+power model.
+
+The simulator deliberately models GPU behaviour at the dispatcher level —
+the level at which KRISP operates — rather than the CU pipeline, which
+KRISP leaves untouched (paper Section IV-D).
+"""
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["CUMask", "GpuDevice", "KernelDescriptor", "KernelLaunch", "GpuTopology"]

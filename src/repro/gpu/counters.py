@@ -1,0 +1,80 @@
+"""Per-CU kernel counters (the paper's *Resource Monitor*).
+
+KRISP's resource-mask generation (Algorithm 1) needs to know how many
+kernels are currently assigned to every CU.  The paper adds 5-bit counters
+per CU (32 concurrent streams max) to the command processor; this module is
+that structure, updated by the device on every kernel dispatch/retire and
+read by the allocator.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["CUKernelCounters"]
+
+
+class CUKernelCounters:
+    """Tracks the number of kernels assigned to each compute unit."""
+
+    def __init__(self, topology: GpuTopology) -> None:
+        self.topology = topology
+        self._counts = [0] * topology.total_cus
+
+    def assign(self, mask: CUMask) -> None:
+        """Record a kernel dispatched onto every CU in ``mask``."""
+        limit = self.topology.max_kernels_per_cu
+        for cu in mask.cus():
+            if self._counts[cu] >= limit:
+                raise OverflowError(
+                    f"CU {cu} already holds {limit} kernels "
+                    f"(counter width exceeded)"
+                )
+            self._counts[cu] += 1
+
+    def release(self, mask: CUMask) -> None:
+        """Record a kernel retiring from every CU in ``mask``."""
+        for cu in mask.cus():
+            if self._counts[cu] == 0:
+                raise ValueError(f"CU {cu} counter underflow")
+            self._counts[cu] -= 1
+
+    def count(self, cu: int) -> int:
+        """Kernels currently assigned to global CU ``cu``."""
+        return self._counts[cu]
+
+    def se_load(self, se: int) -> int:
+        """Sum of kernel counts over the CUs of shader engine ``se``
+        (Algorithm 1 lines 4-7)."""
+        return sum(self._counts[cu] for cu in self.topology.cus_in_se(se))
+
+    def residents_map(self) -> dict[int, int]:
+        """``{cu: residents}`` for CUs with at least one kernel."""
+        return {cu: n for cu, n in enumerate(self._counts) if n > 0}
+
+    def counts_view(self) -> list[int]:
+        """Direct (read-only by convention) view of the per-CU counts.
+
+        The device's hot path indexes this list on every rate recompute;
+        callers must not mutate it.
+        """
+        return self._counts
+
+    def busy_cus(self) -> int:
+        """Number of CUs with at least one resident kernel."""
+        return sum(1 for n in self._counts if n > 0)
+
+    def busy_mask(self) -> CUMask:
+        """Mask of CUs with at least one resident kernel."""
+        return CUMask.from_cus(
+            self.topology, (cu for cu, n in enumerate(self._counts) if n > 0)
+        )
+
+    def total_assigned(self) -> int:
+        """Sum of all counters (kernel-CU assignments in flight)."""
+        return sum(self._counts)
+
+    def snapshot(self) -> list[int]:
+        """Copy of the raw per-CU counts."""
+        return list(self._counts)

@@ -1,0 +1,135 @@
+"""Compute-unit bitmasks.
+
+A :class:`CUMask` is the unit of spatial partitioning on AMD GPUs: bit *i*
+set means global CU *i* may run the kernel's workgroups.  The class is an
+immutable value type so masks can be freely shared, hashed, and used as
+dictionary keys by the allocator and profilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator
+
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["CUMask"]
+
+
+@dataclass(frozen=True, eq=True)
+class CUMask:
+    """An immutable set of enabled compute units for one topology."""
+
+    topology: GpuTopology
+    bits: int
+
+    def __post_init__(self) -> None:
+        limit = (1 << self.topology.total_cus) - 1
+        if self.bits < 0 or self.bits > limit:
+            raise ValueError(
+                f"mask 0x{self.bits:x} has bits outside the "
+                f"{self.topology.total_cus}-CU device"
+            )
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def all_cus(cls, topology: GpuTopology) -> "CUMask":
+        """Mask enabling every CU on the device."""
+        return cls(topology, (1 << topology.total_cus) - 1)
+
+    @classmethod
+    def none(cls, topology: GpuTopology) -> "CUMask":
+        """Empty mask (no CUs)."""
+        return cls(topology, 0)
+
+    @classmethod
+    def from_cus(cls, topology: GpuTopology, cus: Iterable[int]) -> "CUMask":
+        """Mask enabling exactly the given global CU indices."""
+        bits = 0
+        for cu in cus:
+            if not 0 <= cu < topology.total_cus:
+                raise ValueError(f"cu index {cu} out of range")
+            bits |= 1 << cu
+        return cls(topology, bits)
+
+    @classmethod
+    def first_n(cls, topology: GpuTopology, n: int) -> "CUMask":
+        """Mask enabling the first ``n`` global CU indices."""
+        if not 0 <= n <= topology.total_cus:
+            raise ValueError(f"n={n} out of range")
+        return cls(topology, (1 << n) - 1)
+
+    # -- queries ----------------------------------------------------------
+    @cached_property
+    def cu_tuple(self) -> tuple[int, ...]:
+        """Enabled global CU indices, ascending, computed once."""
+        bits = self.bits
+        out = []
+        index = 0
+        while bits:
+            if bits & 1:
+                out.append(index)
+            bits >>= 1
+            index += 1
+        return tuple(out)
+
+    def count(self) -> int:
+        """Number of enabled CUs."""
+        return self.bits.bit_count()
+
+    def cus(self) -> Iterator[int]:
+        """Enabled global CU indices in ascending order."""
+        return iter(self.cu_tuple)
+
+    def has(self, cu: int) -> bool:
+        """Whether global CU ``cu`` is enabled."""
+        return bool(self.bits >> cu & 1)
+
+    @cached_property
+    def _per_se(self) -> tuple[int, ...]:
+        counts = [0] * self.topology.num_se
+        for cu in self.cu_tuple:
+            counts[self.topology.se_of(cu)] += 1
+        return tuple(counts)
+
+    def per_se_counts(self) -> list[int]:
+        """Enabled-CU count inside each shader engine."""
+        return list(self._per_se)
+
+    def active_ses(self) -> list[int]:
+        """Shader engines that contain at least one enabled CU."""
+        return [se for se, n in enumerate(self.per_se_counts()) if n > 0]
+
+    def is_empty(self) -> bool:
+        """True when no CU is enabled."""
+        return self.bits == 0
+
+    # -- set algebra --------------------------------------------------------
+    def union(self, other: "CUMask") -> "CUMask":
+        """CUs enabled in either mask."""
+        self._check_same_device(other)
+        return CUMask(self.topology, self.bits | other.bits)
+
+    def intersect(self, other: "CUMask") -> "CUMask":
+        """CUs enabled in both masks."""
+        self._check_same_device(other)
+        return CUMask(self.topology, self.bits & other.bits)
+
+    def subtract(self, other: "CUMask") -> "CUMask":
+        """CUs enabled here but not in ``other``."""
+        self._check_same_device(other)
+        return CUMask(self.topology, self.bits & ~other.bits)
+
+    def invert(self) -> "CUMask":
+        """CUs *not* enabled in this mask."""
+        return CUMask(self.topology,
+                      ~self.bits & (1 << self.topology.total_cus) - 1)
+
+    def _check_same_device(self, other: "CUMask") -> None:
+        if other.topology != self.topology:
+            raise ValueError("masks belong to different topologies")
+
+    def __str__(self) -> str:
+        return (f"CUMask({self.count()}/{self.topology.total_cus} CUs, "
+                f"per-SE {self.per_se_counts()})")

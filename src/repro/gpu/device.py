@@ -1,0 +1,273 @@
+"""The simulated GPU device: rate-sharing kernel execution.
+
+:class:`GpuDevice` owns the set of *running* kernels.  Each kernel's
+instantaneous rate is derived from the dispatcher timing model
+(:mod:`repro.gpu.exec_model`) given its CU mask, the current per-CU
+residency, and the device-wide memory-bandwidth pool.  Whenever the
+resident set changes (a launch or a retirement), every running kernel's
+progress is advanced at its old rate and its completion event is
+rescheduled at its new rate — an exact piecewise-constant-rate model, the
+standard processor-sharing construction for discrete-event simulators.
+
+The recompute path is the simulator's hot loop, so per-kernel invariants
+(wave splits, isolated-latency floor, bandwidth demand) are cached at
+launch, the per-CU residency is read through a zero-copy view, and a
+kernel whose rate did not change keeps its already-scheduled completion
+event.  The slow-path formulas in :mod:`repro.gpu.exec_model` remain the
+single source of truth; the test suite asserts the cached fast path
+matches them.
+
+The device also owns the per-CU kernel counters (the *Resource Monitor*
+KRISP's allocator reads) and the energy meter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.exec_model import (
+    ExecutionModelConfig,
+    bandwidth_demand,
+    isolated_latency,
+    split_workgroups,
+)
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.power import EnergyMeter, PowerModel
+from repro.gpu.topology import GpuTopology
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import Signal
+
+__all__ = ["GpuDevice", "KernelRecord"]
+
+# Progress is a fraction in [0, 1]; treat anything this close to done as
+# done to absorb float accumulation across many rate changes.
+_PROGRESS_EPS = 1e-9
+
+
+@dataclass
+class KernelRecord:
+    """Bookkeeping for one running (or completed) kernel."""
+
+    launch: KernelLaunch
+    mask: CUMask
+    done: Signal
+    start_time: float
+    progress: float = 0.0
+    eff_latency: float = 0.0
+    last_update: float = 0.0
+    end_time: Optional[float] = None
+    completion_event: Optional[Event] = field(default=None, repr=False)
+    on_complete: Optional[Callable[["KernelRecord"], None]] = field(
+        default=None, repr=False
+    )
+    # Launch-time invariants cached for the rate recompute hot path.
+    floor_latency: float = field(default=0.0, repr=False)
+    demand: float = field(default=0.0, repr=False)
+    se_shares: tuple[tuple[int, float, tuple[int, ...]], ...] = field(
+        default=(), repr=False
+    )
+    occupied_per_se: tuple[int, ...] = field(default=(), repr=False)
+
+
+class GpuDevice:
+    """A whole simulated GPU: execution, counters, and energy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[GpuTopology] = None,
+        exec_config: Optional[ExecutionModelConfig] = None,
+        power_model: Optional[PowerModel] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology or GpuTopology.mi50()
+        self.exec_config = exec_config or ExecutionModelConfig()
+        self.power_model = power_model or PowerModel()
+        self.counters = CUKernelCounters(self.topology)
+        self.meter = EnergyMeter(self.power_model, self.topology)
+        self.record_trace = record_trace
+        self.trace: list[KernelRecord] = []
+        self.kernels_completed = 0
+        self._running: dict[int, KernelRecord] = {}
+        self._residents = self.counters.counts_view()
+        self._total_demand = 0.0
+
+    # -- public API -------------------------------------------------------
+    def launch(
+        self,
+        launch: KernelLaunch,
+        mask: CUMask,
+        on_complete: Optional[Callable[[KernelRecord], None]] = None,
+    ) -> KernelRecord:
+        """Start executing ``launch`` on the CUs in ``mask``.
+
+        Returns the kernel's record; its ``done`` signal fires at
+        retirement.  The mask must be non-empty and belong to this device.
+        """
+        if mask.topology != self.topology:
+            raise ValueError("mask topology does not match device")
+        if mask.is_empty():
+            raise ValueError(
+                f"kernel {launch.descriptor.name}: cannot launch on an "
+                "empty CU mask"
+            )
+        self._advance_progress()
+        self.counters.assign(mask)
+        record = KernelRecord(
+            launch=launch,
+            mask=mask,
+            done=Signal(self.sim, name=f"kernel-{launch.launch_id}.done"),
+            start_time=self.sim.now,
+            last_update=self.sim.now,
+            on_complete=on_complete,
+        )
+        self._cache_invariants(record)
+        self._total_demand += record.demand
+        self._running[launch.launch_id] = record
+        if self.record_trace:
+            self.trace.append(record)
+        self._commit_state_change()
+        return record
+
+    def busy(self) -> bool:
+        """Whether any kernel is currently executing."""
+        return bool(self._running)
+
+    def running_count(self) -> int:
+        """Number of kernels currently executing."""
+        return len(self._running)
+
+    def finalize(self) -> None:
+        """Close the energy-integration segment at the current time.
+
+        Call after (or during) a run before reading
+        ``meter.energy_joules``.
+        """
+        self._advance_progress()
+        self._commit_meter()
+
+    # -- internals ----------------------------------------------------------
+    def _cache_invariants(self, record: KernelRecord) -> None:
+        """Precompute everything about (kernel, mask) the hot path needs."""
+        desc = record.launch.descriptor
+        record.floor_latency = isolated_latency(desc, record.mask,
+                                                self.exec_config)
+        record.demand = bandwidth_demand(desc, record.mask)
+        per_se = record.mask.per_se_counts()
+        shares = split_workgroups(desc.workgroups, per_se)
+        topo = self.topology
+        se_shares = []
+        occupied = [0] * topo.num_se
+        for se, (share, cus) in enumerate(zip(shares, per_se)):
+            if cus == 0:
+                continue
+            se_cus = tuple(cu for cu in record.mask.cu_tuple
+                           if topo.se_of(cu) == se)
+            # Precompute share * wg_duration / occupancy: dividing by the
+            # SE's effective capacity yields its shared execution time.
+            weight = share * desc.wg_duration / desc.occupancy
+            se_shares.append((se, weight, se_cus))
+            # CUs that actually hold workgroups (for the power model): a
+            # wide mask under a small grid leaves most allocated CUs idle.
+            occupied[se] = min(cus, -(-share // desc.occupancy))
+        record.se_shares = tuple(se_shares)
+        record.occupied_per_se = tuple(occupied)
+
+    def _effective_latency(self, record: KernelRecord) -> float:
+        """Latency under current residency and bandwidth (fast path)."""
+        config = self.exec_config
+        residents = self._residents
+        alpha = config.intra_cu_alpha
+        shared = 0.0
+        contended = False
+        for _se, weight, se_cus in record.se_shares:
+            capacity = 0.0
+            for cu in se_cus:
+                r = residents[cu]
+                if r > 1:
+                    contended = True
+                    capacity += (1.0 / r) ** alpha
+                else:
+                    capacity += 1.0
+            se_time = weight / capacity
+            if se_time > shared:
+                shared = se_time
+        desc = record.launch.descriptor
+        latency = record.floor_latency
+        if contended:
+            candidate = desc.flat_time + shared + config.launch_overhead
+            if candidate > latency:
+                latency = candidate
+        if (self._total_demand > config.mem_bandwidth_budget
+                and record.demand > 0.0):
+            bw_share = config.mem_bandwidth_budget / self._total_demand
+            throttle = (1.0 - desc.mem_intensity) + desc.mem_intensity * bw_share
+            latency /= throttle
+        return latency
+
+    def _advance_progress(self) -> None:
+        """Credit every running kernel with work done since last update."""
+        now = self.sim.now
+        for record in self._running.values():
+            if record.eff_latency > 0:
+                record.progress += (now - record.last_update) / record.eff_latency
+                if record.progress > 1.0:
+                    record.progress = 1.0
+            record.last_update = now
+
+    def _commit_state_change(self) -> None:
+        """Recompute all rates and reschedule completions after a change."""
+        self._recompute_rates()
+        self._commit_meter()
+
+    def _commit_meter(self) -> None:
+        # Power follows *occupied* CUs (those actually holding workgroups),
+        # capped at each SE's physical size when kernels overlap.
+        topo = self.topology
+        occupied = [0] * topo.num_se
+        for record in self._running.values():
+            for se, n in enumerate(record.occupied_per_se):
+                occupied[se] += n
+        busy = sum(min(n, topo.cus_per_se) for n in occupied)
+        active_ses = sum(1 for n in occupied if n > 0)
+        self.meter.advance(self.sim.now, busy, active_ses)
+
+    def _recompute_rates(self) -> None:
+        now = self.sim.now
+        for record in self._running.values():
+            latency = self._effective_latency(record)
+            if (record.completion_event is not None
+                    and not record.completion_event.cancelled
+                    and latency == record.eff_latency):
+                continue  # rate unchanged; scheduled completion still valid
+            if record.completion_event is not None:
+                record.completion_event.cancel()
+            record.eff_latency = latency
+            remaining = 1.0 - record.progress
+            delay = 0.0 if remaining <= _PROGRESS_EPS else remaining * latency
+            record.completion_event = self.sim.schedule_in(
+                delay,
+                lambda lid=record.launch.launch_id: self._complete(lid),
+            )
+
+    def _complete(self, launch_id: int) -> None:
+        record = self._running.get(launch_id)
+        if record is None:
+            return
+        self._advance_progress()
+        record.progress = 1.0
+        record.end_time = self.sim.now
+        del self._running[launch_id]
+        self.counters.release(record.mask)
+        self._total_demand -= record.demand
+        if not self._running:
+            self._total_demand = 0.0  # absorb float drift at idle points
+        self._commit_state_change()
+        self.kernels_completed += 1
+        if record.on_complete is not None:
+            record.on_complete(record)
+        record.done.fire(record)

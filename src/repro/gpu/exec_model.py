@@ -1,0 +1,202 @@
+"""Dispatcher-level kernel timing model.
+
+This module is the analytic heart of the simulator.  It models how AMD
+GPUs schedule a kernel's workgroups: the grid is split *equally across the
+shader engines that have at least one enabled CU* and each SE's workload
+manager then fills its enabled CUs (paper Section IV-C).  The resulting
+latency formula,
+
+    latency = flat_time
+              + max_se ceil(WGs_se / (cus_se * occupancy)) * wg_duration,
+
+where ``flat_time`` is the kernel's CU-count-independent
+(bandwidth/serial) share, produces the first-order effects the paper
+measures:
+
+* **minCU plateaus** — latency is flat while the bottleneck wave count is
+  unchanged, so each kernel has a smallest CU count matching full-GPU
+  latency (the paper's per-kernel right-size, Fig. 4/6);
+* **Packed-policy spikes at 16/31/46 active CUs** — a lone CU in a
+  freshly-opened SE receives an equal share of the grid and bottlenecks it
+  (Fig. 8);
+* **Distributed-policy steps at 15/11/7 active CUs** — the per-SE ceil
+  makes 15 CUs behave like 12, 11 like 8, 7 like 4 (Fig. 8);
+* **shallow restriction curves** — only the compute share grows as CUs
+  are removed, which is what lets real models co-locate far beyond their
+  kneepoints (Table IV).
+
+When several kernels share CUs, each CU time-slices its residents; a
+kernel's *effective* CU capacity is the sum over its CUs of
+``(1/residents)^alpha`` where ``alpha >= 1`` adds super-linear intra-CU
+interference (cache and scheduler thrash).  A device-wide memory-bandwidth
+budget further throttles memory-intensive kernels under co-location.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.kernel import KernelDescriptor
+
+__all__ = [
+    "ExecutionModelConfig",
+    "split_workgroups",
+    "isolated_latency",
+    "effective_cus_per_se",
+    "contended_latency",
+    "memory_throttle",
+    "bandwidth_demand",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionModelConfig:
+    """Tunable constants of the timing model.
+
+    Attributes
+    ----------
+    intra_cu_alpha:
+        Exponent on a kernel's per-CU time share.  1.0 is perfectly fair
+        time slicing; values above 1 penalise co-residency (the contention
+        the paper observes with MPS Default at 4 workers).
+    launch_overhead:
+        Fixed per-kernel dispatch cost (driver + command processor), in
+        seconds.  Bounds the benefit of shrinking already-short kernels.
+    mem_bandwidth_budget:
+        Device memory bandwidth as a dimensionless budget shared by all
+        resident kernels (1.0 = saturated by one full-GPU streaming
+        kernel).
+    """
+
+    intra_cu_alpha: float = 1.15
+    launch_overhead: float = 4e-6
+    mem_bandwidth_budget: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.intra_cu_alpha < 1.0:
+            raise ValueError("intra_cu_alpha must be >= 1.0")
+        if self.launch_overhead < 0:
+            raise ValueError("launch_overhead must be >= 0")
+        if self.mem_bandwidth_budget <= 0:
+            raise ValueError("mem_bandwidth_budget must be > 0")
+
+
+def split_workgroups(workgroups: int, per_se_cus: Sequence[int]) -> list[int]:
+    """Split a grid equally across the SEs that have any enabled CU.
+
+    AMD hardware distributes thread blocks evenly over shader engines and
+    only then schedules them to CUs inside each SE; SEs whose mask bits are
+    all clear receive nothing.  The remainder is assigned deterministically
+    to the lowest-numbered active SEs.
+    """
+    if workgroups < 0:
+        raise ValueError("workgroups must be >= 0")
+    active = [se for se, cus in enumerate(per_se_cus) if cus > 0]
+    shares = [0] * len(per_se_cus)
+    if not active or workgroups == 0:
+        return shares
+    base, remainder = divmod(workgroups, len(active))
+    for rank, se in enumerate(active):
+        shares[se] = base + (1 if rank < remainder else 0)
+    return shares
+
+
+def isolated_latency(
+    desc: KernelDescriptor,
+    mask: CUMask,
+    config: ExecutionModelConfig,
+) -> float:
+    """Latency of one kernel running alone under ``mask``.
+
+    Applies the per-SE wave-quantised formula plus the fixed launch
+    overhead.  An empty mask is invalid: the dispatcher can never schedule
+    such a kernel.
+    """
+    if mask.is_empty():
+        raise ValueError(f"kernel {desc.name}: empty CU mask")
+    per_se = mask.per_se_counts()
+    shares = split_workgroups(desc.workgroups, per_se)
+    worst_waves = max(
+        math.ceil(share / (cus * desc.occupancy))
+        for share, cus in zip(shares, per_se)
+        if cus > 0
+    )
+    compute_time = worst_waves * desc.wg_duration
+    return desc.flat_time + compute_time + config.launch_overhead
+
+
+def effective_cus_per_se(
+    mask: CUMask,
+    residents_per_cu: Mapping[int, int],
+    alpha: float,
+) -> list[float]:
+    """Effective CU capacity available to one kernel in each SE.
+
+    ``residents_per_cu`` maps global CU index to the number of kernels
+    currently assigned there (including this one).  Each CU contributes
+    ``(1/residents)**alpha`` of a CU.
+    """
+    topo = mask.topology
+    capacity = [0.0] * topo.num_se
+    for cu in mask.cus():
+        residents = max(1, residents_per_cu.get(cu, 1))
+        capacity[topo.se_of(cu)] += (1.0 / residents) ** alpha
+    return capacity
+
+
+def contended_latency(
+    desc: KernelDescriptor,
+    mask: CUMask,
+    residents_per_cu: Mapping[int, int],
+    config: ExecutionModelConfig,
+) -> float:
+    """Latency under CU sharing, before memory-bandwidth throttling.
+
+    Uses the wave-quantised isolated formula as a floor (hardware cannot
+    beat its own quantisation) and the continuous shared-capacity formula
+    when contention makes it slower.
+    """
+    floor = isolated_latency(desc, mask, config)
+    per_se = mask.per_se_counts()
+    shares = split_workgroups(desc.workgroups, per_se)
+    capacity = effective_cus_per_se(mask, residents_per_cu,
+                                    config.intra_cu_alpha)
+    shared = 0.0
+    for share, cus, cap in zip(shares, per_se, capacity):
+        if cus == 0:
+            continue
+        se_time = (share / (cap * desc.occupancy)) * desc.wg_duration
+        shared = max(shared, se_time)
+    return max(floor, desc.flat_time + shared + config.launch_overhead)
+
+
+def bandwidth_demand(desc: KernelDescriptor, mask: CUMask) -> float:
+    """Fraction of peak memory bandwidth this kernel asks for.
+
+    A kernel streaming from memory on every CU (``mem_intensity == 1`` with
+    a full mask) demands the whole budget; smaller partitions or more
+    compute-bound kernels demand proportionally less.
+    """
+    return desc.mem_intensity * mask.count() / mask.topology.total_cus
+
+
+def memory_throttle(
+    desc: KernelDescriptor,
+    own_demand: float,
+    total_demand: float,
+    config: ExecutionModelConfig,
+) -> float:
+    """Rate multiplier in (0, 1] from memory-bandwidth sharing.
+
+    When the sum of all resident kernels' demands exceeds the budget, the
+    memory-bound fraction of each kernel slows by the oversubscription
+    ratio; the compute-bound fraction is unaffected (roofline-style
+    interpolation).
+    """
+    if total_demand <= config.mem_bandwidth_budget or own_demand == 0.0:
+        return 1.0
+    bw_share = config.mem_bandwidth_budget / total_demand
+    return (1.0 - desc.mem_intensity) + desc.mem_intensity * bw_share

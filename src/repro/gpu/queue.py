@@ -1,0 +1,70 @@
+"""Software HSA queues.
+
+The ROCm runtime allocates HSA queues in shared memory; user-level code
+enqueues AQL packets and rings a doorbell, and the GPU command processor
+drains them in order.  Each queue carries a *stream-scoped CU mask* — the
+baseline hardware's only spatial-partitioning handle, set through an IOCTL
+by the CU-masking API (paper Fig. 10a).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.gpu.aql import AqlPacket
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["HsaQueue"]
+
+_queue_ids = itertools.count()
+
+
+class HsaQueue:
+    """An in-order AQL packet queue with a per-queue CU mask."""
+
+    def __init__(self, topology: GpuTopology, name: str = "") -> None:
+        self.topology = topology
+        self.queue_id = next(_queue_ids)
+        self.name = name or f"queue-{self.queue_id}"
+        self.cu_mask = CUMask.all_cus(topology)
+        self._packets: list[AqlPacket] = []
+        self._doorbell: Optional[Callable[["HsaQueue"], None]] = None
+        self.packets_submitted = 0
+
+    def set_cu_mask(self, mask: CUMask) -> None:
+        """Set the queue's stream-scoped CU mask (IOCTL-backed in ROCm).
+
+        An empty mask would deadlock the hardware scheduler, so it is
+        rejected, matching the driver's behaviour.
+        """
+        if mask.topology != self.topology:
+            raise ValueError("mask topology mismatch")
+        if mask.is_empty():
+            raise ValueError("queue CU mask may not be empty")
+        self.cu_mask = mask
+
+    def submit(self, packet: AqlPacket) -> None:
+        """Enqueue a packet and ring the doorbell."""
+        self._packets.append(packet)
+        self.packets_submitted += 1
+        if self._doorbell is not None:
+            self._doorbell(self)
+
+    def pop(self) -> Optional[AqlPacket]:
+        """Remove and return the oldest packet, or ``None`` when empty."""
+        if not self._packets:
+            return None
+        return self._packets.pop(0)
+
+    def peek(self) -> Optional[AqlPacket]:
+        """Oldest packet without removing it."""
+        return self._packets[0] if self._packets else None
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def attach_doorbell(self, callback: Callable[["HsaQueue"], None]) -> None:
+        """Install the command processor's doorbell handler."""
+        self._doorbell = callback

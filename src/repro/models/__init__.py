@@ -1,0 +1,36 @@
+"""Synthetic inference-model substrate.
+
+The paper evaluates eight PyTorch models (Table III) whose behaviour, for
+KRISP's purposes, is fully characterised by their *kernel traces*: the
+sequence of kernel launches per inference pass, each kernel's grid shape,
+duration, occupancy, and memory-boundedness.  This package synthesises
+those traces:
+
+* :mod:`~repro.models.kernels` — template builders that construct kernel
+  descriptors with a *target* minimum-CU requirement (compute-bound
+  single-wave grids, full-GPU multi-wave grids, bandwidth-bound streaming
+  kernels);
+* :mod:`~repro.models.zoo` — the model zoo: per-model layer structures
+  producing the exact Table III kernel counts, phase-structured minCU
+  traces (Fig. 4), and batch-size scaling.
+
+The traces are *calibrated* so that the profiled model right-sizes and
+isolated latencies land near Table III — but minCU itself is always
+measured by the profiler against the simulator, never hardcoded.
+"""
+
+from repro.models.zoo import (
+    MODEL_NAMES,
+    TABLE_III,
+    ModelSpec,
+    get_model,
+    vector_mul_kernel,
+)
+
+__all__ = [
+    "MODEL_NAMES",
+    "TABLE_III",
+    "ModelSpec",
+    "get_model",
+    "vector_mul_kernel",
+]

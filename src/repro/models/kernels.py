@@ -1,0 +1,209 @@
+"""Kernel template builders with target minimum-CU requirements.
+
+Each builder solves the dispatcher timing model *backwards*: given a
+desired minimum-CU requirement and full-GPU duration, it picks a grid
+shape (workgroups, occupancy, wave time) and a *flat share* — the
+CU-count-independent bandwidth/serial portion — whose *profiled* minCU
+lands on the target.  The flat share controls how steeply the kernel
+degrades below its kneepoint: real GPU kernels lose only the compute
+fraction when squeezed, which is why the paper's workloads survive
+static 15-CU partitions (Table IV) despite much larger kneepoints.
+
+Three behaviour classes cover the kernels of real inference models:
+
+* :func:`compute_kernel` — single/multi-wave GEMM-like grid: latency is
+  flat down to ``min_cus`` CUs, then the wave count steps up.
+* :func:`full_gpu_kernel` — a grid sized to an exact multiple of the
+  device's wave capacity (large direct convolutions): any restriction
+  adds waves, so minCU is the whole device (the paper's
+  ``gfx9_f3x2_fp32_stride1_group`` class), but a high flat share keeps
+  the degradation shallow.
+* :func:`streaming_kernel` — bandwidth-dominated kernels whose grid far
+  exceeds the GPU's resident-thread limit yet tolerate severe CU
+  restriction (the paper's ``MIOpenConvFFT_fwd_in`` class, Fig. 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.topology import GpuTopology
+
+__all__ = [
+    "compute_kernel",
+    "full_gpu_kernel",
+    "streaming_kernel",
+    "giant_streaming_kernel",
+    "stretch_waves",
+]
+
+_MI50 = GpuTopology.mi50()
+
+
+def _check_args(min_cus: int, duration: float, flat_frac: float,
+                topology: GpuTopology) -> None:
+    if not 1 <= min_cus <= topology.total_cus:
+        raise ValueError(
+            f"min_cus={min_cus} out of range [1, {topology.total_cus}]"
+        )
+    if duration <= 0:
+        raise ValueError("duration must be > 0")
+    if not 0.0 <= flat_frac < 1.0:
+        raise ValueError("flat_frac must be in [0, 1)")
+
+
+def compute_kernel(
+    name: str,
+    min_cus: int,
+    duration: float,
+    flat_frac: float = 0.3,
+    occupancy: int = 2,
+    threads_per_wg: int = 256,
+    mem_intensity: float = 0.2,
+    bytes_in: int = 0,
+    topology: GpuTopology = _MI50,
+) -> KernelDescriptor:
+    """Single-wave compute kernel with the given target minCU.
+
+    The grid holds exactly one wave on ``min_cus`` CUs
+    (``workgroups = min_cus * occupancy``); latency is flat from
+    ``min_cus`` upward and rises by the compute share
+    (``1 - flat_frac``) per extra wave below it.
+    """
+    _check_args(min_cus, duration, flat_frac, topology)
+    return KernelDescriptor(
+        name=name,
+        workgroups=min_cus * occupancy,
+        threads_per_wg=threads_per_wg,
+        wg_duration=duration * (1.0 - flat_frac),
+        occupancy=occupancy,
+        mem_intensity=mem_intensity,
+        flat_time=duration * flat_frac,
+        bytes_in=bytes_in,
+    )
+
+
+def full_gpu_kernel(
+    name: str,
+    duration: float,
+    waves: int = 1,
+    flat_frac: float = 0.65,
+    occupancy: int = 4,
+    threads_per_wg: int = 256,
+    mem_intensity: float = 0.35,
+    bytes_in: int = 0,
+    topology: GpuTopology = _MI50,
+) -> KernelDescriptor:
+    """Kernel whose profiled minCU is the whole device.
+
+    The grid is an exact multiple of the device's per-wave capacity, so
+    removing any CU adds a wave regardless of allocation shape; the flat
+    share bounds how bad severe restriction gets (at a quarter of the
+    device: ``flat_frac + 4 * (1 - flat_frac)`` of the full latency).
+    """
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    _check_args(topology.total_cus, duration, flat_frac, topology)
+    return KernelDescriptor(
+        name=name,
+        workgroups=topology.total_cus * occupancy * waves,
+        threads_per_wg=threads_per_wg,
+        wg_duration=duration * (1.0 - flat_frac) / waves,
+        occupancy=occupancy,
+        mem_intensity=mem_intensity,
+        flat_time=duration * flat_frac,
+        bytes_in=bytes_in,
+    )
+
+
+def streaming_kernel(
+    name: str,
+    min_cus: int,
+    duration: float,
+    flat_frac: float = 0.7,
+    occupancy: int = 8,
+    threads_per_wg: int = 256,
+    mem_intensity: float = 0.9,
+    bytes_in: int = 0,
+    topology: GpuTopology = _MI50,
+) -> KernelDescriptor:
+    """Bandwidth-dominated kernel tolerant of CU restriction.
+
+    One wave on ``min_cus`` CUs at high occupancy: the thread count is
+    far above the device's resident-thread limit for realistic shapes
+    (``min_cus * occupancy * threads_per_wg``), yet only the small
+    compute share grows when CUs are taken away — the Fig. 6a kernels
+    that exceed the thread limit but need few CUs.
+    """
+    _check_args(min_cus, duration, flat_frac, topology)
+    return KernelDescriptor(
+        name=name,
+        workgroups=min_cus * occupancy,
+        threads_per_wg=threads_per_wg,
+        wg_duration=duration * (1.0 - flat_frac),
+        occupancy=occupancy,
+        mem_intensity=mem_intensity,
+        flat_time=duration * flat_frac,
+        bytes_in=bytes_in,
+    )
+
+
+def giant_streaming_kernel(
+    name: str,
+    min_cus: int,
+    duration: float,
+    waves: int = 4,
+    design_tolerance: float = 0.05,
+    occupancy: int = 10,
+    threads_per_wg: int = 256,
+    mem_intensity: float = 0.95,
+    bytes_in: int = 0,
+    topology: GpuTopology = _MI50,
+) -> KernelDescriptor:
+    """Flat-dominated multi-wave grid far above the GPU thread limit.
+
+    This is the ``MIOpenConvFFT_fwd_in`` class of paper Fig. 6a: the grid
+    covers the device ``waves`` times over (hundreds of thousands of
+    threads) yet the kernel is almost entirely bandwidth-bound, so its
+    profiled minCU is tiny.  The wave share is solved so the latency
+    crosses the profiler's tolerance right at ``min_cus``:
+    ``wave_frac = design_tolerance / (total/min_cus - 1)``.
+    """
+    _check_args(min_cus, duration, 0.0, topology)
+    if min_cus >= topology.total_cus:
+        raise ValueError("giant streaming kernels need min_cus < total_cus")
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    wave_frac = design_tolerance / (topology.total_cus / min_cus - 1.0)
+    if wave_frac >= 1.0:
+        raise ValueError("min_cus too close to the device size")
+    return KernelDescriptor(
+        name=name,
+        workgroups=topology.total_cus * occupancy * waves,
+        threads_per_wg=threads_per_wg,
+        wg_duration=duration * wave_frac / waves,
+        occupancy=occupancy,
+        mem_intensity=mem_intensity,
+        flat_time=duration * (1.0 - wave_frac),
+        bytes_in=bytes_in,
+    )
+
+
+def stretch_waves(desc: KernelDescriptor, waves: int) -> KernelDescriptor:
+    """Stretch a single-wave compute grid to ``waves`` waves, preserving
+    its total full-GPU duration.
+
+    Only well-formed when the grid stays the bottleneck on the whole
+    device, i.e. ``min_cus * waves > total_cus * (waves - 1)``; callers
+    (the model zoo) enforce that.
+    """
+    if waves < 1:
+        raise ValueError("waves must be >= 1")
+    if waves == 1:
+        return desc
+    return replace(
+        desc,
+        workgroups=desc.workgroups * waves,
+        wg_duration=desc.wg_duration / waves,
+    )

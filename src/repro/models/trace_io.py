@@ -1,0 +1,68 @@
+"""Model-spec serialisation: save/load kernel-template models as JSON.
+
+Lets users describe their own inference models outside Python (or export
+a zoo model, tweak it, and reload), completing the tooling loop with
+:mod:`repro.analysis.trace_export`: traces go out as chrome-trace JSON,
+model definitions come in as template JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Union
+
+from repro.models.zoo import KernelSpec, ModelSpec
+
+__all__ = ["model_to_json", "model_from_json", "save_model", "load_model"]
+
+_REQUIRED = {"style", "name", "duration"}
+_OPTIONAL = {"min_cus", "waves", "flat", "mem", "bytes_in", "sync_gap"}
+
+
+def model_to_json(model: ModelSpec) -> str:
+    """Serialise a model spec (templates + metadata) to JSON."""
+    payload = {
+        "name": model.name,
+        "paper_kernels": model.paper_kernels,
+        "paper_right_size": model.paper_right_size,
+        "paper_p95_ms": model.paper_p95_ms,
+        "kernels": [asdict(spec) for spec in model.specs],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def model_from_json(text: str) -> ModelSpec:
+    """Inverse of :func:`model_to_json`, with field validation."""
+    payload = json.loads(text)
+    if "name" not in payload or "kernels" not in payload:
+        raise ValueError("model JSON needs 'name' and 'kernels'")
+    specs = []
+    for index, entry in enumerate(payload["kernels"]):
+        missing = _REQUIRED - entry.keys()
+        if missing:
+            raise ValueError(f"kernel #{index}: missing fields {missing}")
+        unknown = entry.keys() - _REQUIRED - _OPTIONAL
+        if unknown:
+            raise ValueError(f"kernel #{index}: unknown fields {unknown}")
+        specs.append(KernelSpec(**entry))
+    if not specs:
+        raise ValueError("model has no kernels")
+    return ModelSpec(
+        name=str(payload["name"]),
+        specs=tuple(specs),
+        paper_kernels=int(payload.get("paper_kernels", 0)),
+        paper_right_size=int(payload.get("paper_right_size", 0)),
+        paper_p95_ms=float(payload.get("paper_p95_ms", 0.0)),
+    )
+
+
+def save_model(model: ModelSpec, path: Union[str, Path]) -> None:
+    """Write a model spec to a JSON file."""
+    Path(path).write_text(model_to_json(model))
+
+
+def load_model(path: Union[str, Path]) -> ModelSpec:
+    """Read a model spec written by :func:`save_model` (or hand-authored)."""
+    return model_from_json(Path(path).read_text())

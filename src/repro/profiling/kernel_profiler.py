@@ -1,0 +1,132 @@
+"""Per-kernel minimum-CU profiling.
+
+The paper defines a kernel's right-size as "the least number of CUs that
+have the same latency as the kernel utilizing the full GPU" (Section
+IV-B).  The profiler sweeps allocation sizes — laid out by the same
+*Conserved* mask generator the hardware will use — measuring each
+isolated latency against the dispatcher timing model, and records the
+smallest size within tolerance of the full-GPU latency.
+
+Profiling is offline and contention-free (exactly like the paper's
+install-time library profiling), so the analytic isolated-latency formula
+is the measurement; the simulator produces identical numbers for an idle
+device, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.core.perfdb import PerfDatabase
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.exec_model import ExecutionModelConfig, isolated_latency
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["KernelProfile", "KernelProfiler", "build_database"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Result of profiling one kernel."""
+
+    descriptor: KernelDescriptor
+    min_cus: int
+    full_latency: float
+    total_cus: int
+    latencies: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def restriction_tolerance(self) -> float:
+        """Fraction of the device the kernel can give up for free."""
+        return 1.0 - self.min_cus / self.total_cus
+
+
+class KernelProfiler:
+    """Sweeps CU counts to find each kernel's minimum requirement."""
+
+    def __init__(
+        self,
+        topology: Optional[GpuTopology] = None,
+        exec_config: Optional[ExecutionModelConfig] = None,
+        tolerance: float = 0.05,
+        policy: DistributionPolicy = DistributionPolicy.CONSERVED,
+    ) -> None:
+        """``tolerance`` is the allowed relative slowdown versus the
+        full-GPU latency when calling an allocation "the same latency"."""
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.topology = topology or GpuTopology.mi50()
+        self.exec_config = exec_config or ExecutionModelConfig()
+        self.tolerance = tolerance
+        self._generator = ResourceMaskGenerator(self.topology, policy=policy)
+
+    def mask_for(self, num_cus: int) -> CUMask:
+        """Idle-device allocation of ``num_cus`` CUs under the policy."""
+        return self._generator.generate(num_cus,
+                                        CUKernelCounters(self.topology))
+
+    def latency_at(self, desc: KernelDescriptor, num_cus: int) -> float:
+        """Isolated latency under an allocation of ``num_cus`` CUs."""
+        return isolated_latency(desc, self.mask_for(num_cus),
+                                self.exec_config)
+
+    def latency_curve(
+        self, desc: KernelDescriptor,
+        cu_counts: Optional[Sequence[int]] = None,
+    ) -> dict[int, float]:
+        """Latency for each allocation size in ``cu_counts`` (default:
+        every size from 1 to the whole device)."""
+        if cu_counts is None:
+            cu_counts = range(1, self.topology.total_cus + 1)
+        return {n: self.latency_at(desc, n) for n in cu_counts}
+
+    def min_cus(self, desc: KernelDescriptor) -> int:
+        """Smallest CU count within tolerance of the full-GPU latency."""
+        total = self.topology.total_cus
+        full = self.latency_at(desc, total)
+        budget = full * (1.0 + self.tolerance)
+        best = total
+        # Scan downward; latency is not monotone in general (SE-count
+        # boundaries), so track the smallest n that stays within budget
+        # for *all* allocations >= n -- a kernel right-sized to n must
+        # never regress if the allocator can only give it more.
+        for n in range(total, 0, -1):
+            if self.latency_at(desc, n) <= budget:
+                best = n
+            else:
+                break
+        return best
+
+    def profile(self, desc: KernelDescriptor,
+                with_curve: bool = False) -> KernelProfile:
+        """Full profile of one kernel."""
+        curve = self.latency_curve(desc) if with_curve else {}
+        return KernelProfile(
+            descriptor=desc,
+            min_cus=self.min_cus(desc),
+            full_latency=self.latency_at(desc, self.topology.total_cus),
+            total_cus=self.topology.total_cus,
+            latencies=curve,
+        )
+
+
+def build_database(
+    kernels: Iterable[KernelDescriptor],
+    profiler: Optional[KernelProfiler] = None,
+) -> PerfDatabase:
+    """Profile every distinct kernel and assemble the performance database.
+
+    Kernels sharing a database key (name + kernel size + input size) are
+    profiled once, mirroring the paper's install-time amortisation.
+    """
+    profiler = profiler or KernelProfiler()
+    database = PerfDatabase()
+    for desc in kernels:
+        if desc in database:
+            continue
+        database.record(desc, profiler.min_cus(desc))
+    return database

@@ -1,0 +1,17 @@
+"""Simulated ROCm-like GPU runtime.
+
+The runtime sits between the inference server's workers and the GPU
+substrate, mirroring the stack of paper Fig. 9: HIP-style streams backed by
+software HSA queues (:mod:`~repro.runtime.stream`,
+:mod:`~repro.runtime.hsa`), the stream-scoped CU-masking API whose IOCTL
+cost is modelled by :mod:`~repro.runtime.ioctl`, and the barrier-packet
+*emulation* of kernel-scoped partition instances
+(:mod:`~repro.runtime.emulation`) that the paper uses to evaluate KRISP on
+stock hardware (Section V).
+"""
+
+from repro.runtime.hsa import HsaRuntime
+from repro.runtime.ioctl import IoctlModel
+from repro.runtime.stream import Stream
+
+__all__ = ["HsaRuntime", "IoctlModel", "Stream"]

@@ -1,0 +1,81 @@
+"""HSA-runtime facade: queues, signals, and the CU-masking entry point.
+
+:class:`HsaRuntime` owns the device-side plumbing one ROCm process would
+see: it creates software HSA queues registered with the GPU command
+processor, creates completion signals, and exposes
+:meth:`set_queue_cu_mask` — the ``hsa_amd_queue_cu_set_mask`` equivalent
+that goes through the serialised IOCTL path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gpu.command_processor import (
+    CommandProcessor,
+    CommandProcessorConfig,
+    KernelScopedAllocator,
+)
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.queue import HsaQueue
+from repro.gpu.topology import GpuTopology
+from repro.runtime.ioctl import IoctlModel
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+__all__ = ["HsaRuntime"]
+
+
+class HsaRuntime:
+    """One process's view of the ROCm runtime over a shared device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        cp_config: Optional[CommandProcessorConfig] = None,
+        ioctl: Optional[IoctlModel] = None,
+        allocator: Optional[KernelScopedAllocator] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.command_processor = CommandProcessor(
+            sim, device, config=cp_config, allocator=allocator
+        )
+        self.ioctl = ioctl or IoctlModel(sim)
+
+    @property
+    def topology(self) -> GpuTopology:
+        """Topology of the underlying device."""
+        return self.device.topology
+
+    def create_queue(self, name: str = "") -> HsaQueue:
+        """Allocate a software HSA queue and register it with the CP."""
+        queue = HsaQueue(self.device.topology, name=name)
+        self.command_processor.register_queue(queue)
+        return queue
+
+    def create_signal(self, name: str = "") -> Signal:
+        """Allocate an HSA completion signal."""
+        return Signal(self.sim, name=name)
+
+    def set_queue_cu_mask(
+        self,
+        queue: HsaQueue,
+        mask: CUMask,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Set a queue's stream-scoped CU mask via the IOCTL path.
+
+        The mask takes effect when the (serialised) IOCTL retires;
+        ``on_done`` fires at that point.  This is the medium-overhead
+        reconfiguration path of Table I's *CU Masking API* row.
+        """
+
+        def apply() -> None:
+            queue.set_cu_mask(mask)
+            if on_done is not None:
+                on_done()
+
+        self.ioctl.request(apply)

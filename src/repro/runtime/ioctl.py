@@ -1,0 +1,61 @@
+"""IOCTL syscall cost model.
+
+Setting a queue's CU mask on ROCm goes through an IOCTL into the kernel
+driver.  The paper observes that when concurrent models run, the runtime
+*serialises* these calls, producing high timing variation — so the model
+is a single FIFO server: requests queue behind each other and each takes
+``latency`` seconds of exclusive service.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+__all__ = ["IoctlModel"]
+
+
+class IoctlModel:
+    """A serialised FIFO IOCTL service shared by every caller."""
+
+    def __init__(self, sim: Simulator, latency: float = 15e-6) -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.sim = sim
+        self.latency = latency
+        self._queue: deque[Callable[[], None]] = deque()
+        self._busy = False
+        self.calls_completed = 0
+        self.total_wait_time = 0.0
+
+    def request(self, on_done: Callable[[], None]) -> None:
+        """Issue an IOCTL; ``on_done`` runs when it retires."""
+        arrival = self.sim.now
+
+        def serve() -> None:
+            self.total_wait_time += self.sim.now - arrival
+            self.sim.schedule_in(self.latency, lambda: self._finish(on_done))
+
+        self._queue.append(serve)
+        if not self._busy:
+            self._next()
+
+    def _next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        serve = self._queue.popleft()
+        serve()
+
+    def _finish(self, on_done: Callable[[], None]) -> None:
+        self.calls_completed += 1
+        on_done()
+        self._next()
+
+    @property
+    def pending(self) -> int:
+        """Requests queued or in service."""
+        return len(self._queue) + (1 if self._busy else 0)

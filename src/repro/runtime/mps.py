@@ -1,0 +1,85 @@
+"""Nvidia-MPS-style GPU% provisioning (paper Section IV-D4).
+
+The paper argues kernel-scoped partition instances generalise to Nvidia
+hardware, whose Volta-and-later MPS "concentrates the work submitted by
+a client to a set of SMs" selected from an *active thread percentage*.
+This module is that interface: an :class:`MpsControlDaemon` hands out
+client contexts with a GPU% limit, mapping the percentage to a concrete
+SM (CU) set the same way MPS does — rounded up to whole SMs, allocated
+contiguously so clients overlap only when oversubscribed.
+
+It gives the prior-work policies a faithful MPS vocabulary (GSLICE and
+Gpulet configure GPU%, not CU lists) and lets the right-sizing code
+translate between the two resource units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+__all__ = ["gpu_percentage_to_cus", "cus_to_gpu_percentage",
+           "MpsClientContext", "MpsControlDaemon"]
+
+
+def gpu_percentage_to_cus(percentage: float, topology: GpuTopology) -> int:
+    """SMs granted for an MPS active-thread percentage (rounded up)."""
+    if not 0 < percentage <= 100:
+        raise ValueError(f"percentage {percentage} out of (0, 100]")
+    # The epsilon absorbs float noise so an exact k-SM percentage maps
+    # back to exactly k SMs.
+    return max(1, math.ceil(topology.total_cus * percentage / 100.0 - 1e-9))
+
+
+def cus_to_gpu_percentage(cus: int, topology: GpuTopology) -> float:
+    """The smallest GPU% that grants at least ``cus`` SMs."""
+    if not 1 <= cus <= topology.total_cus:
+        raise ValueError(f"cus {cus} out of range")
+    return 100.0 * cus / topology.total_cus
+
+
+@dataclass(frozen=True)
+class MpsClientContext:
+    """One MPS client: its GPU% limit and the SM set enforcing it."""
+
+    client_id: int
+    percentage: float
+    mask: CUMask
+
+
+class MpsControlDaemon:
+    """Hands out GPU%-limited client contexts over one device.
+
+    SM sets are carved contiguously from the device; when the sum of
+    percentages exceeds 100%, later clients wrap around and overlap
+    earlier ones — MPS permits oversubscription (Table I).
+    """
+
+    def __init__(self, topology: GpuTopology) -> None:
+        self.topology = topology
+        self._next_client = 0
+        self._cursor = 0
+        self.provisioned_percentage = 0.0
+
+    def create_client(self, percentage: float = 100.0) -> MpsClientContext:
+        """Provision a client with an active-thread percentage."""
+        cus = gpu_percentage_to_cus(percentage, self.topology)
+        total = self.topology.total_cus
+        selected = [(self._cursor + offset) % total for offset in range(cus)]
+        self._cursor = (self._cursor + cus) % total
+        context = MpsClientContext(
+            client_id=self._next_client,
+            percentage=percentage,
+            mask=CUMask.from_cus(self.topology, selected),
+        )
+        self._next_client += 1
+        self.provisioned_percentage += percentage
+        return context
+
+    @property
+    def oversubscribed(self) -> bool:
+        """Whether provisioned percentages exceed the device."""
+        return self.provisioned_percentage > 100.0 + 1e-9

@@ -1,0 +1,86 @@
+"""HIP-style streams.
+
+A :class:`Stream` is the unit an ML framework launches kernels into.  It
+wraps one HSA queue, preserves launch order (HIP stream semantics), and
+exposes the two spatial-partitioning hooks the paper contrasts:
+
+* :meth:`set_cu_mask` — AMD's *stream-scoped* CU-masking API (the
+  baseline, programmer-visible, IOCTL-backed);
+* :attr:`rightsizer` — KRISP's *programmer-transparent* interception
+  point: when installed, every kernel launch is tagged with a requested
+  partition size that the (extended) packet processor turns into a
+  per-kernel mask.  The application code never changes — exactly the
+  transparency argument of paper Section IV-A.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gpu.aql import KernelDispatchPacket
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.runtime.hsa import HsaRuntime
+from repro.sim.process import Signal
+
+__all__ = ["Stream"]
+
+#: A right-sizer maps a kernel descriptor to a requested CU count
+#: (or ``None`` to leave the kernel un-sized).
+RightSizer = Callable[[KernelDescriptor], Optional[int]]
+
+
+class Stream:
+    """An in-order kernel launch stream bound to one HSA queue."""
+
+    def __init__(self, runtime: HsaRuntime, name: str = "",
+                 rightsizer: Optional[RightSizer] = None) -> None:
+        self.runtime = runtime
+        self.name = name or "stream"
+        self.queue = runtime.create_queue(name=f"{self.name}.queue")
+        self.rightsizer = rightsizer
+        self.kernels_launched = 0
+        self._last_completion: Optional[Signal] = None
+
+    def launch_kernel(
+        self, descriptor: KernelDescriptor, tag: str = ""
+    ) -> Signal:
+        """Launch a kernel asynchronously; returns its completion signal.
+
+        Kernels in one stream execute in order.  If a right-sizer is
+        installed the launch is tagged with its partition size — the
+        runtime half of KRISP.
+        """
+        requested = self.rightsizer(descriptor) if self.rightsizer else None
+        launch = KernelLaunch(
+            descriptor=descriptor, requested_cus=requested,
+            tag=tag or self.name,
+        )
+        signal = self.runtime.create_signal(
+            name=f"{self.name}.k{self.kernels_launched}"
+        )
+        packet = KernelDispatchPacket(
+            launch=launch, barrier=True, completion_signal=signal
+        )
+        self.queue.submit(packet)
+        self.kernels_launched += 1
+        self._last_completion = signal
+        return signal
+
+    def set_cu_mask(
+        self, mask: CUMask, on_done: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Apply a stream-scoped CU mask (AMD CU-masking API)."""
+        self.runtime.set_queue_cu_mask(self.queue, mask, on_done=on_done)
+
+    def synchronize_signal(self) -> Signal:
+        """Signal that fires when all launched work has completed.
+
+        Returns an already-fired signal when the stream is empty,
+        mirroring ``hipStreamSynchronize`` returning immediately.
+        """
+        if self._last_completion is not None:
+            return self._last_completion
+        signal = self.runtime.create_signal(name=f"{self.name}.empty")
+        signal.fire(None)
+        return signal

@@ -1,0 +1,37 @@
+"""Simulated GPU inference server (paper Section VI-A).
+
+Mirrors the paper's custom inference-server architecture: a frontend that
+enqueues client requests (:mod:`~repro.server.frontend`), shared request
+queues (:mod:`~repro.server.request`), and independent workers that batch,
+pre-process, run inference through the GPU runtime, and post-process
+(:mod:`~repro.server.worker`).  :mod:`~repro.server.policies` implements
+the five spatial-partitioning policies under evaluation and
+:mod:`~repro.server.experiment` drives full co-location experiments at
+maximum load, producing the throughput / tail-latency / energy metrics of
+Fig. 13.
+"""
+
+from repro.server.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    isolated_baseline,
+    normalized_rps,
+    run_experiment,
+    slo_target,
+)
+from repro.server.metrics import LatencyStats, geomean, percentile
+from repro.server.policies import POLICY_NAMES, get_policy
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "isolated_baseline",
+    "normalized_rps",
+    "run_experiment",
+    "slo_target",
+    "LatencyStats",
+    "geomean",
+    "percentile",
+    "POLICY_NAMES",
+    "get_policy",
+]

@@ -1,0 +1,108 @@
+"""Dynamic request batching (the inference-frontend half the paper's
+server performs before workers see a batch).
+
+Clients submit *single* inference requests; the batcher coalesces them
+into batch requests of up to ``max_batch_size``, flushing early when the
+oldest queued request has waited ``max_delay`` — the standard
+TorchServe/Triton-style policy.  Workers then consume whole batches from
+the downstream :class:`~repro.server.request.RequestQueue`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.server.request import InferenceRequest, RequestQueue
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["SingleRequest", "DynamicBatcher"]
+
+_single_ids = itertools.count()
+
+
+@dataclass
+class SingleRequest:
+    """One client request before batching."""
+
+    model_name: str
+    arrival_time: float
+    request_id: int = field(default_factory=lambda: next(_single_ids))
+    batch_request: Optional[InferenceRequest] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency including batching delay, in seconds."""
+        if self.batch_request is None or \
+                self.batch_request.completion_time is None:
+            raise ValueError(f"request {self.request_id} not completed")
+        return self.batch_request.completion_time - self.arrival_time
+
+
+class DynamicBatcher:
+    """Coalesces single requests into batches for one model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downstream: RequestQueue,
+        model_name: str,
+        max_batch_size: int = 32,
+        max_delay: float = 5e-3,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.sim = sim
+        self.downstream = downstream
+        self.model_name = model_name
+        self.max_batch_size = max_batch_size
+        self.max_delay = max_delay
+        self.batches_emitted = 0
+        self.requests_accepted = 0
+        self._pending: list[SingleRequest] = []
+        self._flush_event: Optional[Event] = None
+
+    def submit(self, request: SingleRequest) -> None:
+        """Accept one client request."""
+        if request.model_name != self.model_name:
+            raise ValueError(
+                f"batcher for {self.model_name} got a request for "
+                f"{request.model_name}"
+            )
+        self._pending.append(request)
+        self.requests_accepted += 1
+        if len(self._pending) >= self.max_batch_size:
+            self._flush()
+        elif self._flush_event is None:
+            self._flush_event = self.sim.schedule_in(
+                self.max_delay, self._flush)
+
+    def _flush(self) -> None:
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        if not self._pending:
+            return
+        batch, self._pending = (self._pending[:self.max_batch_size],
+                                self._pending[self.max_batch_size:])
+        batch_request = InferenceRequest(
+            model_name=self.model_name,
+            batch_size=len(batch),
+            arrival_time=batch[0].arrival_time,
+        )
+        for single in batch:
+            single.batch_request = batch_request
+        self.downstream.put(batch_request)
+        self.batches_emitted += 1
+        if self._pending:
+            # Requests left over from an oversized burst restart the clock.
+            self._flush_event = self.sim.schedule_in(
+                self.max_delay, self._flush)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting to be batched."""
+        return len(self._pending)

@@ -1,0 +1,254 @@
+"""Co-location experiments at maximum load (the Fig. 13 harness).
+
+:func:`run_experiment` assembles one experiment cell — a device, a
+partitioning policy, N workers each closed-loop-driven with one model —
+runs it for an auto-sized measurement window, and reports throughput,
+tail latency, and energy per inference.  :func:`isolated_baseline` runs
+the 1-worker unrestricted reference everything is normalised against
+(and that defines the 2x SLO target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.exec_model import ExecutionModelConfig
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import get_model
+from repro.profiling.model_profiler import run_inference_once
+from repro.server.frontend import ClosedLoopClient
+from repro.server.metrics import LatencyStats
+from repro.server.policies import WorkerPlan, get_policy
+from repro.server.request import RequestQueue
+from repro.server.worker import HostCostModel, Worker
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "ExperimentConfig",
+    "WorkerResult",
+    "ExperimentResult",
+    "run_experiment",
+    "isolated_baseline",
+    "slo_target",
+]
+
+#: SLO definition shared with prior spatially partitioned servers:
+#: 2x the isolated inference tail latency (Section VI-B).
+SLO_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell.
+
+    ``model_names`` has one entry per worker (repeat a name for N workers
+    of the same model; mix names for Fig. 15's pairs).  ``requests_scale``
+    stretches the auto-sized measurement window for tighter tails.
+    """
+
+    model_names: tuple[str, ...]
+    policy: str = "mps-default"
+    batch_size: int = 32
+    seed: int = 0
+    emulated: bool = False
+    overlap_limit: Optional[int] = None
+    requests_scale: float = 1.0
+    #: Ablation knobs: intra-CU interference exponent and the memory
+    #: bandwidth budget of the execution model (None = model defaults).
+    intra_cu_alpha: Optional[float] = None
+    mem_bandwidth_budget: Optional[float] = None
+    #: False selects the literal single-pass Algorithm 1 allocation
+    #: (ragged masks) instead of the balanced two-pass refinement.
+    allocator_reshape: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.model_names:
+            raise ValueError("at least one worker is required")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.requests_scale <= 0:
+            raise ValueError("requests_scale must be > 0")
+
+    def exec_config(self) -> ExecutionModelConfig:
+        """Execution-model configuration with ablation overrides applied."""
+        base = ExecutionModelConfig()
+        kwargs = {}
+        if self.intra_cu_alpha is not None:
+            kwargs["intra_cu_alpha"] = self.intra_cu_alpha
+        if self.mem_bandwidth_budget is not None:
+            kwargs["mem_bandwidth_budget"] = self.mem_bandwidth_budget
+        if not kwargs:
+            return base
+        from dataclasses import replace
+        return replace(base, **kwargs)
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """Measured behaviour of one worker inside the window."""
+
+    model_name: str
+    requests_completed: int
+    rps: float
+    latency: LatencyStats
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregate measurements of one experiment cell."""
+
+    config: ExperimentConfig
+    workers: tuple[WorkerResult, ...]
+    window: float
+    total_rps: float
+    energy_joules: float
+    energy_per_request: float
+    gpu_utilization: float
+
+    def worker_p95(self, index: int) -> float:
+        """p95 service latency of one worker, in seconds."""
+        return self.workers[index].latency.p95
+
+    def max_p95(self) -> float:
+        """Worst worker p95 in the cell."""
+        return max(w.latency.p95 for w in self.workers)
+
+    def meets_slo(self) -> bool:
+        """Whether every worker meets its model's 2x-isolated SLO."""
+        return all(
+            w.latency.p95 <= slo_target(w.model_name, self.config.batch_size)
+            for w in self.workers
+        )
+
+
+@lru_cache(maxsize=None)
+def _isolated_pass_latency(model_name: str, batch_size: int) -> float:
+    """Latency of one inference pass alone on the full device."""
+    model = get_model(model_name)
+    gpu_time = run_inference_once(
+        model.trace(batch_size), CUMask.all_cus(GpuTopology.mi50())
+    )
+    return gpu_time + model.host_gap_total(batch_size)
+
+
+def _window_for(config: ExperimentConfig) -> tuple[float, float]:
+    """Auto-size (warmup, measurement end) from the slowest model."""
+    base = max(_isolated_pass_latency(name, config.batch_size)
+               for name in config.model_names)
+    workers = len(config.model_names)
+    warmup = max(0.02, 2.0 * base * workers)
+    measure = max(0.3, 16.0 * base * workers) * config.requests_scale
+    return warmup, warmup + measure
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one co-location cell and return its measurements."""
+    topology = GpuTopology.mi50()
+    sim = Simulator()
+    device = GpuDevice(sim, topology, exec_config=config.exec_config())
+    rng = RngRegistry(config.seed).fork(
+        f"{'-'.join(config.model_names)}/{config.policy}/{config.batch_size}"
+    )
+    plans = [WorkerPlan(get_model(name), config.batch_size)
+             for name in config.model_names]
+    policy = get_policy(config.policy, emulated=config.emulated,
+                        overlap_limit=config.overlap_limit,
+                        reshape=config.allocator_reshape)
+    streams = policy.setup(sim, device, plans)
+
+    warmup, end = _window_for(config)
+    workers: list[Worker] = []
+    for i, (plan, stream) in enumerate(zip(plans, streams)):
+        queue = RequestQueue(sim, name=f"q{i}")
+        client = ClosedLoopClient(
+            sim, queue, plan.model.name, plan.batch_size,
+            concurrency=1, stop_time=end,
+        )
+        workers.append(Worker(
+            sim,
+            name=f"worker-{i}",
+            stream=stream,
+            segments=plan.model.segments(plan.batch_size, topology),
+            queue=queue,
+            rng=rng.stream(f"host-{i}"),
+            host_costs=HostCostModel(),
+            stop_time=end,
+            on_complete=client.on_request_complete,
+        ))
+
+    energy_marks: dict[str, float] = {}
+
+    def snapshot(label: str) -> None:
+        device.finalize()
+        energy_marks[label] = device.meter.energy_joules
+
+    sim.schedule(warmup, lambda: snapshot("warmup"), priority=-10)
+    sim.schedule(end, lambda: snapshot("end"), priority=10)
+    sim.run(until=end)
+    snapshot("final")
+
+    window = end - warmup
+    worker_results = []
+    total_requests = 0
+    for plan, worker in zip(plans, workers):
+        latencies = worker.stats.latencies_in(warmup, end)
+        completed = worker.stats.completions_in(warmup, end)
+        if not latencies:
+            raise RuntimeError(
+                f"worker for {plan.model.name} completed no requests in the "
+                f"measurement window; widen requests_scale"
+            )
+        total_requests += completed
+        worker_results.append(WorkerResult(
+            model_name=plan.model.name,
+            requests_completed=completed,
+            rps=completed * plan.batch_size / window,
+            latency=LatencyStats.from_samples(latencies),
+        ))
+
+    energy = energy_marks["end"] - energy_marks["warmup"]
+    return ExperimentResult(
+        config=config,
+        workers=tuple(worker_results),
+        window=window,
+        total_rps=sum(w.rps for w in worker_results),
+        energy_joules=energy,
+        energy_per_request=energy / max(1, total_requests),
+        gpu_utilization=device.meter.utilization(sim.now),
+    )
+
+
+@lru_cache(maxsize=None)
+def isolated_baseline(model_name: str, batch_size: int = 32,
+                      seed: int = 0) -> ExperimentResult:
+    """The 1-worker unrestricted reference cell for ``model_name``."""
+    return run_experiment(ExperimentConfig(
+        model_names=(model_name,),
+        policy="mps-default",
+        batch_size=batch_size,
+        seed=seed,
+    ))
+
+
+def slo_target(model_name: str, batch_size: int = 32) -> float:
+    """SLO latency bound: 2x the isolated p95 (Section VI-B)."""
+    return SLO_FACTOR * isolated_baseline(model_name, batch_size).max_p95()
+
+
+def normalized_rps(result: ExperimentResult) -> float:
+    """System throughput in units of isolated single-worker throughput.
+
+    Each worker's RPS is normalised by its own model's isolated RPS and
+    the shares are summed — the Fig. 13a/15 y-axis.
+    """
+    total = 0.0
+    for worker in result.workers:
+        base = isolated_baseline(worker.model_name,
+                                 result.config.batch_size).total_rps
+        total += worker.rps / base
+    return total

@@ -1,0 +1,102 @@
+"""Inference frontend: client load generators.
+
+The paper's evaluation "drives the GPU and inference server at maximum
+load", which :class:`ClosedLoopClient` models: a fixed number of
+outstanding requests per worker, each completion immediately re-arming a
+new request.  :class:`PoissonClient` is an open-loop generator for
+rate-driven studies beyond the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.server.request import InferenceRequest, RequestQueue
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+__all__ = ["ClosedLoopClient", "PoissonClient"]
+
+
+class ClosedLoopClient:
+    """Keeps ``concurrency`` requests outstanding until ``stop_time``.
+
+    Wire its :meth:`on_request_complete` as the workers' completion
+    callback; each completion enqueues a fresh request, so the server
+    never idles (maximum load).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: RequestQueue,
+        model_name: str,
+        batch_size: int,
+        concurrency: int,
+        stop_time: float = float("inf"),
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.sim = sim
+        self.queue = queue
+        self.model_name = model_name
+        self.batch_size = batch_size
+        self.stop_time = stop_time
+        self.issued = 0
+        for _ in range(concurrency):
+            self._issue()
+
+    def _issue(self) -> None:
+        if self.sim.now >= self.stop_time:
+            return
+        self.queue.put(InferenceRequest(
+            model_name=self.model_name,
+            batch_size=self.batch_size,
+            arrival_time=self.sim.now,
+        ))
+        self.issued += 1
+
+    def on_request_complete(self, _request: InferenceRequest) -> None:
+        """Worker completion callback: re-arm one request."""
+        self._issue()
+
+
+class PoissonClient:
+    """Open-loop Poisson arrivals at ``rate`` requests per second."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: RequestQueue,
+        model_name: str,
+        batch_size: int,
+        rate: float,
+        rng: np.random.Generator,
+        stop_time: float,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.sim = sim
+        self.queue = queue
+        self.model_name = model_name
+        self.batch_size = batch_size
+        self.rate = rate
+        self.rng = rng
+        self.stop_time = stop_time
+        self.issued = 0
+        self.process = Process(sim, self._run(), name="poisson-client")
+
+    def _run(self) -> Iterator:
+        while True:
+            gap = float(self.rng.exponential(1.0 / self.rate))
+            yield gap
+            if self.sim.now >= self.stop_time:
+                return
+            self.queue.put(InferenceRequest(
+                model_name=self.model_name,
+                batch_size=self.batch_size,
+                arrival_time=self.sim.now,
+            ))
+            self.issued += 1

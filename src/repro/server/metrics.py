@@ -1,0 +1,83 @@
+"""Latency/throughput/energy metrics.
+
+Percentiles use the nearest-rank method on the measured samples, matching
+how inference-serving papers report pXX tail latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["percentile", "geomean", "LatencyStats", "BoxplotStats"]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; ``pct`` in (0, 100]."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct={pct} out of (0, 100]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    if not values:
+        raise ValueError("no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Build from raw latency samples in seconds."""
+        if not samples:
+            raise ValueError("no latency samples")
+        return cls(
+            count=len(samples),
+            mean=sum(samples) / len(samples),
+            p50=percentile(samples, 50),
+            p95=percentile(samples, 95),
+            p99=percentile(samples, 99),
+            maximum=max(samples),
+        )
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary for Fig. 15-style throughput distributions."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxplotStats":
+        """Build from raw samples."""
+        if not samples:
+            raise ValueError("no samples")
+        return cls(
+            minimum=min(samples),
+            q1=percentile(samples, 25),
+            median=percentile(samples, 50),
+            q3=percentile(samples, 75),
+            maximum=max(samples),
+        )

@@ -1,0 +1,129 @@
+"""Open-loop (rate-driven) serving experiments.
+
+The paper evaluates at maximum load; prior inference servers additionally
+adapt to fluctuating request rates.  This extension drives a co-located
+deployment with Poisson arrivals at a given rate and measures end-to-end
+(queueing-inclusive) latency, enabling max-sustainable-throughput
+searches under an SLO — the natural next question a KRISP adopter asks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import get_model
+from repro.server.experiment import ExperimentConfig, slo_target
+from repro.server.frontend import PoissonClient
+from repro.server.metrics import LatencyStats
+from repro.server.policies import WorkerPlan, get_policy
+from repro.server.request import RequestQueue
+from repro.server.worker import HostCostModel, Worker
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["RateResult", "run_rate_experiment", "max_sustainable_rate"]
+
+
+@dataclass(frozen=True)
+class RateResult:
+    """Outcome of one open-loop run."""
+
+    offered_rps: float
+    achieved_rps: float
+    latency: LatencyStats
+    queue_residue: int
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the server failed to keep up with the offered load.
+
+        Judged by the backlog left in the request queue at the end of the
+        run — under a sustainable rate the queue drains continuously.
+        """
+        return self.queue_residue > 2
+
+
+def run_rate_experiment(
+    config: ExperimentConfig,
+    offered_rps: float,
+    duration: Optional[float] = None,
+) -> RateResult:
+    """Drive the deployment with Poisson arrivals at ``offered_rps``.
+
+    All workers share one request queue (any worker may serve any
+    request), matching the paper's frontend/queue/worker architecture.
+    Requests arrive in batches of ``config.batch_size``, so the arrival
+    rate of batches is ``offered_rps / batch_size``.
+    """
+    if offered_rps <= 0:
+        raise ValueError("offered_rps must be > 0")
+    topology = GpuTopology.mi50()
+    sim = Simulator()
+    device = GpuDevice(sim, topology, exec_config=config.exec_config())
+    rng = RngRegistry(config.seed).fork(f"rate/{offered_rps}")
+    plans = [WorkerPlan(get_model(name), config.batch_size)
+             for name in config.model_names]
+    policy = get_policy(config.policy, emulated=config.emulated,
+                        overlap_limit=config.overlap_limit)
+    streams = policy.setup(sim, device, plans)
+
+    if duration is None:
+        base = max(slo_target(name, config.batch_size)
+                   for name in config.model_names)
+        duration = max(1.0, 40 * base)
+
+    queue = RequestQueue(sim, name="shared")
+    batch_rate = offered_rps / config.batch_size
+    client = PoissonClient(sim, queue, plans[0].model.name,
+                           config.batch_size, rate=batch_rate,
+                           rng=rng.stream("arrivals"), stop_time=duration)
+    workers = [
+        Worker(sim, f"worker-{i}", stream,
+               plan.model.segments(plan.batch_size, topology),
+               queue, rng.stream(f"host-{i}"),
+               host_costs=HostCostModel(), stop_time=duration)
+        for i, (plan, stream) in enumerate(zip(plans, streams))
+    ]
+    sim.run(until=duration)
+
+    latencies = []
+    completed = 0
+    for worker in workers:
+        for request in worker.stats.completed:
+            if request.completion_time is not None:
+                latencies.append(request.latency)  # queueing-inclusive
+                completed += 1
+    if not latencies:
+        raise RuntimeError("no requests completed; offered rate too low "
+                           "or duration too short")
+    return RateResult(
+        offered_rps=offered_rps,
+        achieved_rps=completed * config.batch_size / duration,
+        latency=LatencyStats.from_samples(latencies),
+        queue_residue=len(queue),
+    )
+
+
+def max_sustainable_rate(
+    config: ExperimentConfig,
+    slo_latency: float,
+    low_rps: float,
+    high_rps: float,
+    iterations: int = 6,
+) -> float:
+    """Binary-search the highest offered rate whose p95 meets the SLO."""
+    if low_rps <= 0 or high_rps <= low_rps:
+        raise ValueError("need 0 < low_rps < high_rps")
+    best = 0.0
+    for _ in range(iterations):
+        mid = (low_rps + high_rps) / 2
+        result = run_rate_experiment(config, mid)
+        if not result.saturated and result.latency.p95 <= slo_latency:
+            best = mid
+            low_rps = mid
+        else:
+            high_rps = mid
+    return best

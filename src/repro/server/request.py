@@ -1,0 +1,93 @@
+"""Inference requests and the shared request queue.
+
+The paper's server stores request data in shared-memory queues between
+the gRPC frontend and the workers; here the queue is a simulated FIFO
+with signal-based blocking so workers can wait for work without polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+__all__ = ["InferenceRequest", "RequestQueue"]
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class InferenceRequest:
+    """One client inference request batch."""
+
+    model_name: str
+    batch_size: int
+    arrival_time: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (arrival to response), in seconds."""
+        if self.completion_time is None:
+            raise ValueError(f"request {self.request_id} not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def service_latency(self) -> float:
+        """Processing latency (dispatch to response), in seconds.
+
+        Under closed-loop max-load driving, this is the inference latency
+        the paper's SLO analysis bounds (queueing to a saturated server is
+        unbounded by construction).
+        """
+        if self.completion_time is None or self.start_time is None:
+            raise ValueError(f"request {self.request_id} not completed")
+        return self.completion_time - self.start_time
+
+
+class RequestQueue:
+    """FIFO of pending requests with blocking dequeue."""
+
+    def __init__(self, sim: Simulator, name: str = "requests") -> None:
+        self.sim = sim
+        self.name = name
+        self._pending: deque[InferenceRequest] = deque()
+        self._waiters: deque[Signal] = deque()
+        self.enqueued = 0
+
+    def put(self, request: InferenceRequest) -> None:
+        """Enqueue a request, waking one blocked worker if any."""
+        self._pending.append(request)
+        self.enqueued += 1
+        if self._waiters:
+            self._waiters.popleft().fire(None)
+
+    def get_signal(self) -> Signal:
+        """Signal that fires once a request is (or becomes) available.
+
+        Usage from a worker process::
+
+            yield queue.get_signal()
+            request = queue.pop()
+        """
+        signal = Signal(self.sim, name=f"{self.name}.wait")
+        if self._pending:
+            signal.fire(None)
+        else:
+            self._waiters.append(signal)
+        return signal
+
+    def pop(self) -> InferenceRequest:
+        """Dequeue the oldest pending request."""
+        if not self._pending:
+            raise IndexError("pop from empty request queue")
+        return self._pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self._pending)

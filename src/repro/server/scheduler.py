@@ -1,0 +1,80 @@
+"""Multi-model frontend scheduler.
+
+The paper's inference frontend accepts requests for many models and
+hands them to per-model workers through shared queues.  This module is
+that routing layer: one :class:`FrontendScheduler` owns a
+:class:`~repro.server.batching.DynamicBatcher` and a downstream request
+queue per served model, routes incoming single requests by model name,
+and tracks per-model arrival statistics.
+
+It deliberately stays policy-free about *GPU* resources — spatial
+partitioning is the job of :mod:`repro.server.policies`; the scheduler
+only decides which worker queue a request lands in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.server.batching import DynamicBatcher, SingleRequest
+from repro.server.request import RequestQueue
+from repro.sim.engine import Simulator
+
+__all__ = ["ModelEndpoint", "FrontendScheduler"]
+
+
+@dataclass
+class ModelEndpoint:
+    """The per-model serving plumbing the scheduler routes into."""
+
+    model_name: str
+    batcher: DynamicBatcher
+    queue: RequestQueue
+    requests_routed: int = 0
+
+
+class FrontendScheduler:
+    """Routes client requests to per-model batchers and queues."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._endpoints: dict[str, ModelEndpoint] = {}
+        self.rejected = 0
+
+    def register_model(
+        self,
+        model_name: str,
+        max_batch_size: int = 32,
+        max_delay: float = 5e-3,
+    ) -> ModelEndpoint:
+        """Create the batcher + queue pair for one served model."""
+        if model_name in self._endpoints:
+            raise ValueError(f"model {model_name!r} already registered")
+        queue = RequestQueue(self.sim, name=f"{model_name}.queue")
+        batcher = DynamicBatcher(self.sim, queue, model_name,
+                                 max_batch_size=max_batch_size,
+                                 max_delay=max_delay)
+        endpoint = ModelEndpoint(model_name, batcher, queue)
+        self._endpoints[model_name] = endpoint
+        return endpoint
+
+    def endpoint(self, model_name: str) -> ModelEndpoint:
+        """The endpoint serving ``model_name``."""
+        return self._endpoints[model_name]
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        """Registered model names, in registration order."""
+        return tuple(self._endpoints)
+
+    def submit(self, request: SingleRequest) -> bool:
+        """Route one client request; returns False when the model is not
+        served (the request is rejected, mirroring a 404 from the
+        frontend)."""
+        endpoint = self._endpoints.get(request.model_name)
+        if endpoint is None:
+            self.rejected += 1
+            return False
+        endpoint.batcher.submit(request)
+        endpoint.requests_routed += 1
+        return True

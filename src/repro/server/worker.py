@@ -1,0 +1,125 @@
+"""Inference workers.
+
+A worker owns one GPU stream, dequeues request batches, performs host-side
+pre-processing, enqueues the model's kernel trace, waits for the last
+kernel, and post-processes.  Workers are independent of each other (the
+paper's design), so concurrent inference execution on the same GPU falls
+out of running several workers.
+
+Host-side pre/post-processing times carry small stochastic jitter (from a
+named RNG stream); that jitter is the only nondeterminism in the server
+and produces the latency *tails* the SLO analysis measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.gpu.kernel import KernelDescriptor
+from repro.server.request import InferenceRequest, RequestQueue
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal
+
+__all__ = ["HostCostModel", "Worker", "WorkerStats", "StreamLike"]
+
+
+class StreamLike(Protocol):
+    """What a worker needs from a stream (native or emulated)."""
+
+    def launch_kernel(self, descriptor: KernelDescriptor,
+                      tag: str = "") -> Signal: ...
+
+    def synchronize_signal(self) -> Signal: ...
+
+
+@dataclass(frozen=True)
+class HostCostModel:
+    """Host-side request handling costs.
+
+    ``pre_mean``/``post_mean`` are the mean pre/post-processing times; the
+    actual draw is gamma-distributed with shape ``jitter_shape`` (higher =
+    tighter), giving realistic right-skewed host tails.
+    """
+
+    pre_mean: float = 250e-6
+    post_mean: float = 150e-6
+    jitter_shape: float = 8.0
+
+    def draw(self, mean: float, rng: np.random.Generator) -> float:
+        """One jittered host delay."""
+        if mean <= 0:
+            return 0.0
+        return float(rng.gamma(self.jitter_shape, mean / self.jitter_shape))
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker measurement log."""
+
+    completed: list[InferenceRequest] = field(default_factory=list)
+    requests_processed: int = 0
+
+    def latencies_in(self, start: float, end: float) -> list[float]:
+        """Service latencies of requests completed inside the window."""
+        return [r.service_latency for r in self.completed
+                if r.completion_time is not None
+                and start <= r.completion_time <= end]
+
+    def completions_in(self, start: float, end: float) -> int:
+        """Number of requests completed inside the window."""
+        return sum(1 for r in self.completed
+                   if r.completion_time is not None
+                   and start <= r.completion_time <= end)
+
+
+class Worker:
+    """One inference worker bound to a stream and a model trace."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        stream: StreamLike,
+        segments: Sequence[tuple[Sequence[KernelDescriptor], float]],
+        queue: RequestQueue,
+        rng: np.random.Generator,
+        host_costs: Optional[HostCostModel] = None,
+        stop_time: float = float("inf"),
+        on_complete: Optional["Callable[[InferenceRequest], None]"] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.stream = stream
+        self.segments = [(list(burst), gap) for burst, gap in segments]
+        self.queue = queue
+        self.rng = rng
+        self.host_costs = host_costs or HostCostModel()
+        self.stop_time = stop_time
+        self.on_complete = on_complete
+        self.stats = WorkerStats()
+        self.process = Process(sim, self._run(), name=name)
+
+    def _run(self) -> Iterator:
+        costs = self.host_costs
+        while self.sim.now < self.stop_time:
+            yield self.queue.get_signal()
+            if self.sim.now >= self.stop_time:
+                break
+            request = self.queue.pop()
+            request.start_time = self.sim.now
+            yield costs.draw(costs.pre_mean, self.rng)
+            for burst, gap in self.segments:
+                for desc in burst:
+                    self.stream.launch_kernel(desc, tag=self.name)
+                yield self.stream.synchronize_signal()
+                if gap > 0:
+                    yield gap
+            yield costs.draw(costs.post_mean, self.rng)
+            request.completion_time = self.sim.now
+            self.stats.completed.append(request)
+            self.stats.requests_processed += 1
+            if self.on_complete is not None:
+                self.on_complete(request)

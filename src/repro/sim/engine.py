@@ -1,0 +1,152 @@
+"""Event loop for the discrete-event simulator.
+
+The engine is deliberately minimal: events are ``(time, priority, seq)``
+ordered callbacks in a binary heap.  Components schedule callbacks with
+:meth:`Simulator.schedule` (absolute time) or :meth:`Simulator.schedule_in`
+(relative delay) and may cancel them.  Simulated time is a float in
+*seconds*; helpers for milliseconds and microseconds keep call sites
+readable.
+
+Determinism: ties in time are broken first by an explicit integer
+``priority`` (lower runs first) and then by insertion order, so a run is a
+pure function of its inputs and seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+#: Multipliers for readable time literals.
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so the heap pops them in
+    deterministic order.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with a monotonically advancing clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule_in(1e-3, lambda: print("1 ms later"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, priority, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` after a relative non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the event heap drains, ``until`` passes, or ``stop()``.
+
+        Returns the simulated time at exit.  When ``until`` is given the
+        clock is advanced to ``until`` even if the heap drained earlier,
+        which keeps time integration (e.g. energy) well defined.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,69 @@
+"""Tests for the reshape toggle: literal Algorithm 1 vs balanced regrant."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+
+
+def loaded_counters(n_first=40):
+    gen = ResourceMaskGenerator(TOPO)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(gen.generate(n_first, counters))
+    return counters
+
+
+def test_literal_mode_keeps_only_free_cus_plus_floor():
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=False)
+    counters = loaded_counters(40)
+    mask = gen.generate(40, counters)
+    # 20 free CUs + floor top-up to 30, taken raggedly.
+    assert mask.count() == 30
+
+
+def test_literal_mode_can_produce_ragged_shapes():
+    """Under partial load the literal selection leaves uneven SE shapes —
+    the source of the paper's Fig. 16 spikes."""
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=False)
+    counters = CUKernelCounters(TOPO)
+    # Occupy 14 of 15 CUs in SE0 and SE1.
+    counters.assign(CUMask.from_cus(
+        TOPO, [cu for se in (0, 1) for cu in list(TOPO.cus_in_se(se))[:14]]))
+    mask = gen.generate(32, counters)
+    active = [c for c in mask.per_se_counts() if c > 0]
+    assert max(active) - min(active) > 1  # ragged
+
+
+def test_reshape_mode_always_balanced():
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=True)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.from_cus(
+        TOPO, [cu for se in (0, 1) for cu in list(TOPO.cus_in_se(se))[:14]]))
+    mask = gen.generate(32, counters)
+    active = [c for c in mask.per_se_counts() if c > 0]
+    assert max(active) - min(active) <= 1
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=1, max_value=60))
+def test_modes_agree_on_idle_device(n_request, n_other):
+    """With nothing running, both modes produce the identical mask."""
+    literal = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=False)
+    balanced = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=True)
+    counters = CUKernelCounters(TOPO)
+    assert literal.generate(n_request, counters) == \
+        balanced.generate(n_request, counters)
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_literal_mode_never_starves(n):
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=False)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.all_cus(TOPO))
+    mask = gen.generate(n, counters)
+    assert mask.count() >= min(n, 30)  # the fair-share floor holds

@@ -1,0 +1,46 @@
+"""Tests for table/series formatting helpers."""
+
+import pytest
+
+from repro.analysis.series import ascii_curve, format_series
+from repro.analysis.tables import format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["model", "rps", "ok"],
+        [["albert", 1234.5, True], ["vgg19", 9.87, False]],
+        title="demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "model" in lines[1]
+    assert "1234.50" in text
+    assert "yes" in text and "no" in text
+
+
+def test_format_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_series():
+    text = format_series([1, 2], [0.5, 0.25], x_label="cus", y_label="lat")
+    assert "cus" in text and "lat" in text
+    assert "0.5" in text and "0.25" in text
+    with pytest.raises(ValueError):
+        format_series([1], [1, 2])
+
+
+def test_ascii_curve_scales_bars():
+    text = ascii_curve([1, 2], [1.0, 2.0], width=10, label="curve")
+    lines = text.splitlines()
+    assert lines[0] == "curve"
+    assert lines[2].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_ascii_curve_empty_and_zero():
+    assert ascii_curve([], [], label="x") == "x"
+    text = ascii_curve([1], [0.0])
+    assert "#" not in text

@@ -1,0 +1,69 @@
+"""Tests for the utilization-timeline analysis."""
+
+import pytest
+
+from repro.analysis.utilization import utilization_timeline
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.exec_model import ExecutionModelConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.topology import GpuTopology
+from repro.sim.engine import Simulator
+
+TOPO = GpuTopology.mi50()
+CFG = ExecutionModelConfig(launch_overhead=0.0)
+
+
+def run_device(launches):
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG, record_trace=True)
+    for delay, desc, mask in launches:
+        sim.schedule(delay, lambda d=desc, m=mask: device.launch(
+            KernelLaunch(d), m))
+    sim.run()
+    return device
+
+
+def small_kernel(workgroups=15, duration=1e-3):
+    return KernelDescriptor(name="k", workgroups=workgroups, occupancy=1,
+                            wg_duration=duration, mem_intensity=0.0)
+
+
+def test_timeline_counts_allocated_and_occupied():
+    # 15 WGs, mask of 60 CUs: 60 allocated but only ~16 occupied (equal
+    # split puts ceil(15/4)=4 per SE).
+    device = run_device([(0.0, small_kernel(), CUMask.all_cus(TOPO))])
+    timeline = utilization_timeline(device.trace, TOPO, samples=50)
+    assert timeline.mean_allocated() == pytest.approx(60, abs=1)
+    assert timeline.mean_occupied() == pytest.approx(16, abs=1)
+    assert timeline.over_allocation() > 0.5
+    assert 0 < timeline.under_utilization() < 1
+
+
+def test_timeline_idle_gap_lowers_means():
+    busy = run_device([(0.0, small_kernel(), CUMask.first_n(TOPO, 15))])
+    t_busy = utilization_timeline(busy.trace, TOPO, samples=50)
+    # Same kernel, but sample a window twice as long (half idle).
+    t_half = utilization_timeline(busy.trace, TOPO, samples=50,
+                                  end=2e-3)
+    assert t_half.mean_occupied() == pytest.approx(
+        t_busy.mean_occupied() / 2, rel=0.1)
+
+
+def test_timeline_caps_at_device_size():
+    mask = CUMask.all_cus(TOPO)
+    device = run_device([
+        (0.0, small_kernel(workgroups=240), mask),
+        (0.0, small_kernel(workgroups=240), mask),
+    ])
+    timeline = utilization_timeline(device.trace, TOPO, samples=20)
+    assert max(timeline.allocated_cus) <= 60
+    assert max(timeline.occupied_cus) <= 60
+
+
+def test_timeline_validation():
+    device = run_device([(0.0, small_kernel(), CUMask.first_n(TOPO, 15))])
+    with pytest.raises(ValueError):
+        utilization_timeline(device.trace, TOPO, start=5.0, end=1.0)
+    with pytest.raises(ValueError):
+        utilization_timeline(device.trace, TOPO, samples=0)

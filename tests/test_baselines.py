@@ -1,0 +1,95 @@
+"""Tests for the process-scoped baselines and resize-path comparison."""
+
+import pytest
+
+from repro.baselines.process_scoped import (
+    ProcessScopedInstance,
+    ReloadCostModel,
+    ShadowInstanceServer,
+)
+from repro.baselines.resize_paths import RESIZE_MECHANISMS, resize_latency
+from repro.sim.engine import Simulator
+
+
+def test_instance_boot_takes_full_reload():
+    sim = Simulator()
+    costs = ReloadCostModel()
+    instance = ProcessScopedInstance(sim, costs)
+    ready = []
+    instance.ready.on_fire(lambda v: ready.append(sim.now))
+    sim.run()
+    assert ready == [pytest.approx(costs.total_reload)]
+
+
+def test_cold_resize_incurs_downtime():
+    sim = Simulator()
+    costs = ReloadCostModel()
+    instance = ProcessScopedInstance(sim, costs)
+    sim.run()
+    instance.resize(30)
+    sim.run()
+    assert instance.partition_size == 30
+    assert instance.reloads == 1
+    assert instance.downtime_total == pytest.approx(costs.total_reload)
+
+
+def test_shadow_server_masks_reload_downtime():
+    sim = Simulator()
+    costs = ReloadCostModel()
+    server = ShadowInstanceServer(sim, costs, min_resize_period=0.0)
+    sim.run()  # boot the active instance
+    done = server.resize(30)
+    assert done is not None
+    sim.run()
+    assert server.partition_size == 30
+    assert server.resizes_completed == 1
+    # Downtime is only the hot-swap, not the reload.
+    assert server.downtime_total == pytest.approx(costs.swap_downtime)
+
+
+def test_shadow_server_epoch_limit():
+    sim = Simulator()
+    server = ShadowInstanceServer(sim, min_resize_period=20.0)
+    sim.run()
+    assert server.resize(30) is not None
+    sim.run()
+    # A second resize right away is rejected (the Gpulet ~20s epoch).
+    assert server.resize(45) is None
+    assert server.resizes_rejected == 1
+
+
+def test_shadow_server_rejects_concurrent_resize():
+    sim = Simulator()
+    server = ShadowInstanceServer(sim, min_resize_period=0.0)
+    sim.run()
+    assert server.resize(30) is not None
+    assert server.resize(45) is None  # still reconfiguring
+
+
+def test_resize_latency_ordering():
+    """Table I: process-scoped >> stream-scoped >> kernel-scoped."""
+    process = resize_latency("mps")
+    stream = resize_latency("cu-masking")
+    kernel = resize_latency("kernel-scoped")
+    assert process > 1.0                 # seconds (reload)
+    assert 1e-6 < stream < 1e-3          # IOCTL path
+    assert kernel <= 2e-6                # firmware mask generation
+    assert process > 1000 * stream > 1000 * kernel / 10
+
+
+def test_resize_latency_mig_matches_mps_path():
+    assert resize_latency("mig") == resize_latency("mps")
+
+
+def test_resize_latency_unknown():
+    with pytest.raises(KeyError):
+        resize_latency("tpu")
+
+
+def test_mechanism_table_rows():
+    names = {m.name for m in RESIZE_MECHANISMS}
+    assert names == {"mps", "mig", "cu-masking", "kernel-scoped"}
+    kernel_scoped = next(m for m in RESIZE_MECHANISMS
+                         if m.name == "kernel-scoped")
+    assert kernel_scoped.scope == "kernel"
+    assert kernel_scoped.programmer_transparent

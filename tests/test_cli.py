@@ -1,0 +1,43 @@
+"""Tests for the krisp-repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "squeezenet"]) == 0
+    out = capsys.readouterr().out
+    assert "right-size" in out
+    assert "kernels/pass" in out
+
+
+def test_colocate_command(capsys):
+    assert main(["colocate", "squeezenet", "-n", "2", "-p", "krisp-i"]) == 0
+    out = capsys.readouterr().out
+    assert "normalized system throughput" in out
+    assert "meets SLO" in out
+
+
+def test_colocate_mixed_models(capsys):
+    assert main(["colocate", "squeezenet", "shufflenet"]) == 0
+    out = capsys.readouterr().out
+    assert "squeezenet" in out and "shufflenet" in out
+
+
+def test_rate_command_exit_codes(capsys):
+    ok = main(["rate", "squeezenet", "--rps", "500", "--duration", "0.5"])
+    assert ok == 0
+    saturated = main(["rate", "squeezenet", "--rps", "50000",
+                      "--duration", "0.5"])
+    assert saturated == 1
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["profile", "gpt4"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,176 @@
+"""Unit and property tests for Algorithm 1 and the distribution policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    DistributionPolicy,
+    ResourceMaskGenerator,
+    se_distribution,
+)
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+
+PACKED = DistributionPolicy.PACKED
+DISTRIBUTED = DistributionPolicy.DISTRIBUTED
+CONSERVED = DistributionPolicy.CONSERVED
+
+
+# -- se_distribution (Fig. 7 example: 19 CUs across 4 SEs) -----------------
+
+def test_fig7_example_19_cus():
+    assert se_distribution(19, TOPO, PACKED) == [15, 4, 0, 0]
+    assert se_distribution(19, TOPO, DISTRIBUTED) == [5, 5, 5, 4]
+    assert se_distribution(19, TOPO, CONSERVED) == [10, 9, 0, 0]
+
+
+def test_conserved_uses_minimum_ses():
+    assert se_distribution(15, TOPO, CONSERVED) == [15, 0, 0, 0]
+    assert se_distribution(16, TOPO, CONSERVED) == [8, 8, 0, 0]
+    assert se_distribution(31, TOPO, CONSERVED) == [11, 10, 10, 0]
+    assert se_distribution(46, TOPO, CONSERVED) == [12, 12, 11, 11]
+    assert se_distribution(60, TOPO, CONSERVED) == [15, 15, 15, 15]
+
+
+def test_distribution_bounds_checked():
+    with pytest.raises(ValueError):
+        se_distribution(0, TOPO, CONSERVED)
+    with pytest.raises(ValueError):
+        se_distribution(61, TOPO, CONSERVED)
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.sampled_from(list(DistributionPolicy)))
+def test_distribution_conserves_total(n, policy):
+    counts = se_distribution(n, TOPO, policy)
+    assert sum(counts) == n
+    assert all(0 <= c <= TOPO.cus_per_se for c in counts)
+
+
+@given(st.integers(min_value=1, max_value=60))
+def test_conserved_is_balanced(n):
+    counts = [c for c in se_distribution(n, TOPO, CONSERVED) if c > 0]
+    assert max(counts) - min(counts) <= 1
+
+
+# -- ResourceMaskGenerator ---------------------------------------------------
+
+def test_generate_on_idle_device():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED)
+    mask = gen.generate(19, CUKernelCounters(TOPO))
+    assert mask.count() == 19
+    assert sorted(mask.per_se_counts(), reverse=True)[:2] == [10, 9]
+
+
+def test_generate_prefers_least_loaded_se():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.from_cus(TOPO, TOPO.cus_in_se(0)))
+    mask = gen.generate(10, counters)
+    # SE0 is busy; the 10 CUs must come from another SE.
+    assert mask.per_se_counts()[0] == 0
+
+
+def test_generate_prefers_least_loaded_cus_within_se():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED)
+    counters = CUKernelCounters(TOPO)
+    # Occupy CUs 0..4 in every SE so SE loads tie.
+    for se in range(4):
+        counters.assign(CUMask.from_cus(
+            TOPO, list(TOPO.cus_in_se(se))[:5]))
+    mask = gen.generate(10, counters)
+    assert all(counters.count(cu) == 0 for cu in mask.cus())
+
+
+def test_overlap_limit_zero_shrinks_allocation():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=0)
+    counters = CUKernelCounters(TOPO)
+    first = gen.generate(40, counters)
+    counters.assign(first)
+    second = gen.generate(40, counters)
+    # Only 20 CUs are free; isolation caps the grant at the fair-share
+    # floor (60 // 2 = 30), and the regranted mask keeps a balanced
+    # conserved shape (no straggler SEs).
+    assert second.count() == 30
+    active = [c for c in second.per_se_counts() if c > 0]
+    assert max(active) - min(active) <= 1
+
+
+def test_unlimited_overlap_gives_full_request():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=None)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(gen.generate(60, counters))
+    mask = gen.generate(60, counters)
+    assert mask.count() == 60
+
+
+def test_fair_share_floor_prevents_starvation():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=0)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.all_cus(TOPO))  # everything occupied
+    mask = gen.generate(30, counters)
+    assert mask.count() == 30  # floor = 60 // 2
+
+
+def test_never_returns_empty_mask():
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=0)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.all_cus(TOPO))
+    mask = gen.generate(10, counters)
+    assert mask.count() >= 1
+
+
+def test_request_clamped_to_device():
+    gen = ResourceMaskGenerator(TOPO)
+    counters = CUKernelCounters(TOPO)
+    assert gen.generate(500, counters).count() == 60
+    assert gen.generate(-3, counters).count() == 1
+
+
+def test_negative_overlap_limit_rejected():
+    with pytest.raises(ValueError):
+        ResourceMaskGenerator(TOPO, overlap_limit=-1)
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.sampled_from(list(DistributionPolicy)))
+def test_idle_allocation_exact_and_isolated(n, policy):
+    gen = ResourceMaskGenerator(TOPO, policy=policy, overlap_limit=0)
+    mask = gen.generate(n, CUKernelCounters(TOPO))
+    assert mask.count() == n
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=1, max_value=30))
+def test_two_isolated_allocations_do_not_overlap_when_they_fit(n1, n2):
+    """Two half-device-or-smaller requests land on disjoint whole SEs."""
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=0)
+    counters = CUKernelCounters(TOPO)
+    first = gen.generate(n1, counters)
+    counters.assign(first)
+    second = gen.generate(n2, counters)
+    assert first.intersect(second).is_empty()
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=1, max_value=60))
+def test_masks_keep_balanced_shape_under_load(n1, n2):
+    """Regranted masks never leave a straggler SE (the Fig. 8 pathology)."""
+    gen = ResourceMaskGenerator(TOPO, policy=CONSERVED, overlap_limit=0)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(gen.generate(n1, counters))
+    second = gen.generate(n2, counters)
+    active = [c for c in second.per_se_counts() if c > 0]
+    assert max(active) - min(active) <= 1
+
+
+def test_generation_is_deterministic():
+    gen1 = ResourceMaskGenerator(TOPO)
+    gen2 = ResourceMaskGenerator(TOPO)
+    counters = CUKernelCounters(TOPO)
+    counters.assign(CUMask.from_cus(TOPO, [3, 17, 45]))
+    assert gen1.generate(23, counters) == gen2.generate(23, counters)

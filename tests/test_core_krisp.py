@@ -1,0 +1,116 @@
+"""Tests for the KRISP allocator and system facade."""
+
+import pytest
+
+from repro.core.allocation import DistributionPolicy, ResourceMaskGenerator
+from repro.core.krisp import KrispAllocator, KrispConfig, KrispSystem
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import get_model
+from repro.profiling.kernel_profiler import build_database
+from repro.runtime.emulation import EmulatedKernelScopedStream
+from repro.runtime.stream import Stream
+from repro.sim.engine import Simulator
+
+TOPO = GpuTopology.mi50()
+
+
+def kernel(workgroups=24, requested=None):
+    return KernelLaunch(
+        KernelDescriptor(name="k", workgroups=workgroups, occupancy=2,
+                         wg_duration=1e-4, mem_intensity=0.0),
+        requested_cus=requested,
+    )
+
+
+def test_allocator_honours_requested_size_on_idle_device():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    allocator = KrispAllocator(ResourceMaskGenerator(TOPO))
+    mask = allocator.allocate(kernel(requested=17), device)
+    assert mask.count() == 17
+    assert allocator.allocations == 1
+    assert allocator.short_allocations == 0
+
+
+def test_allocator_defaults_unprofiled_to_full_device():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    allocator = KrispAllocator(ResourceMaskGenerator(TOPO))
+    mask = allocator.allocate(kernel(requested=None), device)
+    assert mask.count() == 60
+
+
+def test_allocator_counts_short_allocations():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    allocator = KrispAllocator(
+        ResourceMaskGenerator(TOPO, overlap_limit=0))
+    big = allocator.allocate(kernel(requested=50), device)
+    device.launch(kernel(workgroups=100), big)
+    shrunk = allocator.allocate(kernel(requested=50), device)
+    assert shrunk.count() < 50
+    assert allocator.short_allocations == 1
+
+
+def test_allocator_isolates_against_running_kernels():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    allocator = KrispAllocator(
+        ResourceMaskGenerator(TOPO, overlap_limit=0))
+    first = allocator.allocate(kernel(requested=20), device)
+    device.launch(kernel(workgroups=40), first)
+    second = allocator.allocate(kernel(requested=20), device)
+    assert first.intersect(second).is_empty()
+
+
+def test_krisp_system_wires_native_and_emulated_streams():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    model = get_model("squeezenet")
+    database = build_database(model.trace(32))
+    system = KrispSystem(sim, device, database)
+    assert isinstance(system.create_stream("n"), Stream)
+    assert isinstance(system.create_stream("e", emulated=True),
+                      EmulatedKernelScopedStream)
+
+
+def test_krisp_system_end_to_end_right_sizing():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, record_trace=True)
+    model = get_model("squeezenet")
+    database = build_database(model.trace(32))
+    system = KrispSystem(sim, device, database,
+                         config=KrispConfig(overlap_limit=0))
+    stream = system.create_stream("w")
+    for desc in model.trace(32):
+        stream.launch_kernel(desc)
+    sim.run()
+    assert device.kernels_completed == model.kernel_count
+    sizes = [r.mask.count() for r in device.trace]
+    # Kernel-wise right-sizing: most kernels get far less than the device.
+    assert sum(1 for s in sizes if s < 30) > model.kernel_count * 0.5
+    assert system.rightsizer.unprofiled == set()
+
+
+def test_krisp_config_distribution_override():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    database = build_database(get_model("squeezenet").trace(32))
+    system = KrispSystem(
+        sim, device, database,
+        config=KrispConfig(distribution=DistributionPolicy.PACKED))
+    assert system.allocator.generator.policy is DistributionPolicy.PACKED
+
+
+def test_krisp_overlap_limit_flows_to_generator():
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO)
+    database = build_database(get_model("squeezenet").trace(32))
+    system = KrispSystem(sim, device, database,
+                         config=KrispConfig(overlap_limit=7))
+    assert system.allocator.generator.overlap_limit == 7
+    default = KrispSystem(sim, GpuDevice(sim, TOPO), database)
+    assert default.allocator.generator.overlap_limit == 60  # unlimited

@@ -1,0 +1,103 @@
+"""Unit tests for the performance database and right-sizer."""
+
+import pytest
+
+from repro.core.perfdb import KernelKey, PerfDatabase
+from repro.core.rightsizing import KernelRightSizer
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+
+
+def kernel(name="k", workgroups=24, bytes_in=1000):
+    return KernelDescriptor(name=name, workgroups=workgroups,
+                            bytes_in=bytes_in)
+
+
+def test_record_and_lookup():
+    db = PerfDatabase()
+    db.record(kernel(), 12)
+    assert db.lookup(kernel()) == 12
+    assert len(db) == 1
+
+
+def test_key_includes_name_size_and_input():
+    db = PerfDatabase()
+    db.record(kernel("a", 24, 1000), 12)
+    assert db.lookup(kernel("b", 24, 1000)) is None       # different name
+    assert db.lookup(kernel("a", 48, 1000)) is None       # different size
+    assert db.lookup(kernel("a", 24, 2000)) is None       # different input
+    assert db.misses == 3
+
+
+def test_rejects_invalid_min_cus():
+    db = PerfDatabase()
+    with pytest.raises(ValueError):
+        db.record(kernel(), 0)
+
+
+def test_json_round_trip(tmp_path):
+    db = PerfDatabase()
+    db.record(kernel("gemm|odd", 24, 10), 12)  # name containing separator
+    db.record(kernel("conv", 480, 999), 60)
+    path = tmp_path / "db.json"
+    db.save(path)
+    loaded = PerfDatabase.load(path)
+    assert loaded.lookup(kernel("gemm|odd", 24, 10)) == 12
+    assert loaded.lookup(kernel("conv", 480, 999)) == 60
+    assert len(loaded) == 2
+
+
+def test_kernel_key_encode_decode():
+    key = KernelKey("name|with|pipes", 6144, 12345)
+    assert KernelKey.decode(key.encode()) == key
+
+
+def test_merge_other_wins():
+    a, b = PerfDatabase(), PerfDatabase()
+    a.record(kernel(), 10)
+    b.record(kernel(), 20)
+    a.merge(b)
+    assert a.lookup(kernel()) == 20
+
+
+def test_contains():
+    db = PerfDatabase()
+    assert kernel() not in db
+    db.record(kernel(), 5)
+    assert kernel() in db
+
+
+# -- right-sizer -------------------------------------------------------------
+
+def test_rightsizer_returns_profiled_value():
+    db = PerfDatabase()
+    db.record(kernel(), 12)
+    sizer = KernelRightSizer(db, TOPO)
+    assert sizer(kernel()) == 12
+
+
+def test_rightsizer_unprofiled_falls_back_to_full_device():
+    sizer = KernelRightSizer(PerfDatabase(), TOPO)
+    assert sizer(kernel("mystery")) == 60
+    assert "mystery" in sizer.unprofiled
+
+
+def test_rightsizer_margin():
+    db = PerfDatabase()
+    db.record(kernel(), 12)
+    sizer = KernelRightSizer(db, TOPO, margin_cus=4)
+    assert sizer(kernel()) == 16
+
+
+def test_rightsizer_margin_capped_at_device():
+    db = PerfDatabase()
+    db.record(kernel(), 59)
+    sizer = KernelRightSizer(db, TOPO, margin_cus=10)
+    assert sizer(kernel()) == 60
+
+
+def test_rightsizer_rejects_negative_margin():
+    with pytest.raises(ValueError):
+        KernelRightSizer(PerfDatabase(), TOPO, margin_cus=-1)

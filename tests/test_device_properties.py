@@ -1,0 +1,129 @@
+"""Property-based tests for device execution invariants.
+
+Random workloads (kernel shapes, masks, launch times) must preserve the
+core conservation laws of the rate-sharing execution model: every kernel
+completes, never faster than its isolated latency and never slower than
+the fully-time-sliced bound; counters drain to zero; energy is positive
+and bounded by peak power times elapsed time.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.exec_model import ExecutionModelConfig, isolated_latency
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.topology import GpuTopology
+from repro.sim.engine import Simulator
+
+TOPO = GpuTopology.mi50()
+CFG = ExecutionModelConfig(launch_overhead=0.0)
+
+kernel_strategy = st.builds(
+    KernelDescriptor,
+    name=st.just("k"),
+    workgroups=st.integers(min_value=1, max_value=2000),
+    threads_per_wg=st.just(256),
+    wg_duration=st.floats(min_value=1e-6, max_value=1e-3),
+    occupancy=st.integers(min_value=1, max_value=8),
+    mem_intensity=st.floats(min_value=0.0, max_value=1.0),
+    flat_time=st.floats(min_value=0.0, max_value=1e-3),
+)
+
+mask_strategy = st.sets(
+    st.integers(min_value=0, max_value=59), min_size=1
+).map(lambda cus: CUMask.from_cus(TOPO, cus))
+
+workload_strategy = st.lists(
+    st.tuples(kernel_strategy, mask_strategy,
+              st.floats(min_value=0.0, max_value=1e-3)),
+    min_size=1, max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload_strategy)
+def test_all_kernels_complete_and_counters_drain(workload):
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    for desc, mask, delay in workload:
+        sim.schedule(delay, lambda d=desc, m=mask: device.launch(
+            KernelLaunch(d), m))
+    sim.run()
+    assert device.kernels_completed == len(workload)
+    assert not device.busy()
+    assert device.counters.total_assigned() == 0
+    assert device.counters.busy_cus() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload_strategy)
+def test_latency_bounds(workload):
+    """Each kernel finishes no earlier than its isolated latency and no
+    later than serialising everything that overlaps it."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    records: dict[int, object] = {}
+    for index, (desc, mask, delay) in enumerate(workload):
+        sim.schedule(delay, lambda i=index, d=desc, m=mask: records.__setitem__(
+            i, device.launch(KernelLaunch(d), m)))
+    sim.run()
+    total_work = sum(isolated_latency(d, m, CFG) for d, m, _t in workload)
+    for index, (desc, mask, _delay) in enumerate(workload):
+        record = records[index]
+        elapsed = record.end_time - record.start_time
+        floor = isolated_latency(desc, mask, CFG)
+        assert elapsed >= floor * (1 - 1e-9)
+        # Gross upper bound: even full serialisation with worst-case
+        # intra-CU interference cannot exceed total work times the
+        # interference factor at max co-residency.
+        ceiling = total_work * len(workload) ** CFG.intra_cu_alpha + 1e-9
+        assert elapsed <= ceiling
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload_strategy)
+def test_energy_bounded_by_peak_power(workload):
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    for desc, mask, delay in workload:
+        sim.schedule(delay, lambda d=desc, m=mask: device.launch(
+            KernelLaunch(d), m))
+    sim.run()
+    device.finalize()
+    elapsed = sim.now
+    energy = device.meter.energy_joules
+    peak = device.power_model.peak_power(TOPO)
+    idle = device.power_model.idle_power(TOPO)
+    assert energy >= idle * elapsed * (1 - 1e-9)
+    assert energy <= peak * elapsed * (1 + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(kernel_strategy, mask_strategy)
+def test_single_kernel_matches_analytic_model(desc, mask):
+    """The device's fast path must agree with the exec_model formulas."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    record = device.launch(KernelLaunch(desc), mask)
+    sim.run()
+    expected = isolated_latency(desc, mask, CFG)
+    assert math.isclose(record.end_time - record.start_time, expected,
+                        rel_tol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(kernel_strategy, min_size=2, max_size=4))
+def test_identical_kernels_finish_together(descs):
+    """Same kernel, same mask, same start: completions coincide."""
+    desc = descs[0]
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    mask = CUMask.all_cus(TOPO)
+    records = [device.launch(KernelLaunch(desc), mask) for _ in descs]
+    sim.run()
+    ends = {round(r.end_time, 12) for r in records}
+    assert len(ends) == 1

@@ -1,0 +1,91 @@
+"""Tests for the dynamic-serving baselines (Fig. 2 dynamics)."""
+
+import pytest
+
+from repro.baselines.dynamic_server import (
+    KrispDynamicServer,
+    ModelWiseDynamicServer,
+)
+from repro.baselines.process_scoped import ReloadCostModel
+from repro.gpu.device import GpuDevice
+from repro.sim.engine import Simulator
+
+MODEL = "squeezenet"
+COSTS = ReloadCostModel(partition_config=1.0, backend_start=2.0,
+                        model_load=5.0)
+
+
+def test_krisp_server_first_response_is_immediate():
+    sim = Simulator()
+    server = KrispDynamicServer(sim, GpuDevice(sim))
+    served = server.admit(MODEL)
+    sim.run(until=1.0)
+    server.stop_all()
+    # First inference completes within a couple of pass latencies (~8 ms).
+    assert served.time_to_first_inference < 0.05
+    assert served.completed_passes > 50
+
+
+def test_model_wise_server_waits_for_epoch_and_reload():
+    sim = Simulator()
+    server = ModelWiseDynamicServer(sim, GpuDevice(sim), epoch=20.0,
+                                    reload_costs=COSTS)
+    sim.run(until=5.0)   # admit mid-epoch
+    served = server.admit(MODEL)
+    sim.run(until=40.0)
+    server.stop_all()
+    # Admission at t=5 is honoured at the t=20 epoch boundary, then the
+    # instance boots for total_reload = 8 s: first response ~ t=28.
+    assert served.time_to_first_inference == pytest.approx(
+        15.0 + COSTS.total_reload, rel=0.05)
+    assert server.reconfigurations == 1
+
+
+def test_model_wise_existing_model_keeps_serving_during_reload():
+    sim = Simulator()
+    server = ModelWiseDynamicServer(sim, GpuDevice(sim), epoch=10.0,
+                                    reload_costs=COSTS)
+    first = server.admit(MODEL)
+    sim.run(until=25.0)  # first admitted at epoch t=10 (+8s boot)
+    passes_before = first.completed_passes
+    assert passes_before > 0
+    second = server.admit("shufflenet")
+    sim.run(until=34.0)  # next epoch t=30; shadow boots until t=38
+    # During the shadow boot, the first model continues on its old mask.
+    assert first.completed_passes > passes_before
+    sim.run(until=45.0)
+    server.stop_all()
+    assert second.first_response_at is not None
+    assert second.time_to_first_inference > COSTS.total_reload
+
+
+def test_krisp_server_admits_second_model_in_milliseconds():
+    sim = Simulator()
+    server = KrispDynamicServer(sim, GpuDevice(sim))
+    server.admit(MODEL)
+    sim.run(until=0.5)
+    second = server.admit("shufflenet")
+    sim.run(until=1.0)
+    server.stop_all()
+    assert second.time_to_first_inference < 0.05
+
+
+def test_partitions_fit_device_after_repartition():
+    sim = Simulator()
+    device = GpuDevice(sim)
+    server = ModelWiseDynamicServer(sim, device, epoch=5.0,
+                                    reload_costs=COSTS)
+    a = server.admit(MODEL)
+    b = server.admit("shufflenet")
+    # Epoch at t=5, then two serial shadow boots (2 x 8 s) before the swap.
+    sim.run(until=25.0)
+    server.stop_all()
+    assert a.partition is not None and b.partition is not None
+    assert a.partition.intersect(b.partition).is_empty()
+    assert a.partition.count() + b.partition.count() <= 60
+
+
+def test_epoch_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        ModelWiseDynamicServer(sim, GpuDevice(sim), epoch=0.0)

@@ -1,0 +1,31 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+#: CLI arguments keeping each example's smoke run small.
+ARGS = {
+    "colocation_study": ["squeezenet", "2"],
+    "rate_serving": ["squeezenet"],
+}
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [str(path)] + ARGS.get(path.stem, []))
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "colocation_study", "profile_custom_model",
+            "emulation_overhead", "utilization_motivation",
+            "rate_serving"} <= names

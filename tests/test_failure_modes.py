@@ -1,0 +1,121 @@
+"""Failure-injection and overload tests.
+
+These exercise the stack's guard rails: stuck dependencies, counter
+overflow at extreme co-residency, runtime contention on the serialised
+IOCTL path, and workers outliving their load.
+"""
+
+import pytest
+
+from repro.gpu.aql import BarrierAndPacket, KernelDispatchPacket
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.device import GpuDevice
+from repro.gpu.exec_model import ExecutionModelConfig
+from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+from repro.gpu.queue import HsaQueue
+from repro.gpu.command_processor import CommandProcessor
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import get_model
+from repro.profiling.kernel_profiler import build_database
+from repro.core.krisp import KrispConfig, KrispSystem
+from repro.runtime.hsa import HsaRuntime
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+TOPO = GpuTopology.mi50()
+CFG = ExecutionModelConfig(launch_overhead=0.0)
+
+
+def kernel(name="k"):
+    return KernelDescriptor(name=name, workgroups=10, wg_duration=1e-5,
+                            occupancy=1, mem_intensity=0.0)
+
+
+def test_stuck_barrier_stalls_queue_but_not_simulator():
+    """A barrier whose dependency never fires must stall only its queue;
+    the simulator drains cleanly and the stall is observable."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    cp = CommandProcessor(sim, device)
+    queue = HsaQueue(TOPO)
+    cp.register_queue(queue)
+    never = Signal(sim, "never")
+    queue.submit(BarrierAndPacket(dep_signals=[never]))
+    queue.submit(KernelDispatchPacket(launch=KernelLaunch(kernel())))
+    sim.run()
+    assert device.kernels_completed == 0
+    assert len(queue) == 1  # the kernel packet is still parked
+    # Firing the dependency later releases the queue.
+    never.fire(None)
+    sim.run()
+    assert device.kernels_completed == 1
+
+
+def test_counter_overflow_at_extreme_coresidency():
+    """More concurrent kernels per CU than the 5-bit hardware counters
+    support must fail loudly, not wrap."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    mask = CUMask.first_n(TOPO, 1)
+    for i in range(TOPO.max_kernels_per_cu):
+        device.launch(KernelLaunch(kernel(f"k{i}")), mask)
+    with pytest.raises(OverflowError):
+        device.launch(KernelLaunch(kernel("overflow")), mask)
+
+
+def test_ioctl_contention_between_emulated_streams():
+    """Two emulated KRISP streams contend on the serialised IOCTL path,
+    the high-variance effect the paper observed on real ROCm."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    model = get_model("squeezenet")
+    database = build_database(model.trace(32))
+    system = KrispSystem(sim, device, database,
+                         config=KrispConfig(overlap_limit=0))
+    streams = [system.create_stream(f"w{i}", emulated=True)
+               for i in range(2)]
+    for stream in streams:
+        for desc in model.trace(32):
+            stream.launch_kernel(desc)
+    sim.run()
+    ioctl = system.runtime.ioctl
+    assert ioctl.calls_completed == 2 * model.kernel_count
+    assert ioctl.total_wait_time > 0  # someone queued behind someone
+
+
+def test_worker_idles_gracefully_without_load():
+    """A worker with an empty queue parks on the queue signal and the
+    simulation terminates."""
+    import numpy as np
+
+    from repro.runtime.stream import Stream
+    from repro.server.request import RequestQueue
+    from repro.server.worker import Worker
+
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    runtime = HsaRuntime(sim, device)
+    queue = RequestQueue(sim)
+    worker = Worker(sim, "w", Stream(runtime), [([kernel()], 0.0)],
+                    queue, np.random.default_rng(0), stop_time=1.0)
+    sim.run()
+    assert worker.stats.requests_processed == 0
+
+
+def test_device_survives_pathological_single_cu_masks():
+    """Sixty kernels each pinned to a distinct single CU: full isolation,
+    every kernel finishes at its own pace."""
+    sim = Simulator()
+    device = GpuDevice(sim, TOPO, exec_config=CFG)
+    for cu in range(60):
+        device.launch(KernelLaunch(kernel(f"k{cu}")),
+                      CUMask.from_cus(TOPO, [cu]))
+    assert device.running_count() == 60
+    sim.run()
+    assert device.kernels_completed == 60
+
+
+def test_zero_duration_window_rejected_by_run_until():
+    sim = Simulator()
+    sim.run(until=0.0)
+    assert sim.now == 0.0

@@ -1,0 +1,97 @@
+"""Unit and property tests for CU masks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+
+cu_sets = st.sets(st.integers(min_value=0, max_value=TOPO.total_cus - 1))
+
+
+def test_all_and_none():
+    full = CUMask.all_cus(TOPO)
+    empty = CUMask.none(TOPO)
+    assert full.count() == 60
+    assert empty.count() == 0
+    assert empty.is_empty()
+    assert not full.is_empty()
+
+
+def test_first_n():
+    mask = CUMask.first_n(TOPO, 17)
+    assert mask.count() == 17
+    assert list(mask.cus()) == list(range(17))
+    assert mask.per_se_counts() == [15, 2, 0, 0]
+
+
+def test_from_cus_and_has():
+    mask = CUMask.from_cus(TOPO, [0, 15, 30, 45])
+    assert mask.per_se_counts() == [1, 1, 1, 1]
+    assert mask.active_ses() == [0, 1, 2, 3]
+    assert mask.has(15) and not mask.has(16)
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        CUMask.from_cus(TOPO, [60])
+    with pytest.raises(ValueError):
+        CUMask(TOPO, 1 << 60)
+    with pytest.raises(ValueError):
+        CUMask(TOPO, -1)
+    with pytest.raises(ValueError):
+        CUMask.first_n(TOPO, 61)
+
+
+def test_set_algebra():
+    a = CUMask.from_cus(TOPO, [0, 1, 2])
+    b = CUMask.from_cus(TOPO, [2, 3])
+    assert list(a.union(b).cus()) == [0, 1, 2, 3]
+    assert list(a.intersect(b).cus()) == [2]
+    assert list(a.subtract(b).cus()) == [0, 1]
+    assert a.invert().count() == 57
+
+
+def test_cross_topology_rejected():
+    other = GpuTopology.mi100()
+    with pytest.raises(ValueError):
+        CUMask.all_cus(TOPO).union(CUMask.all_cus(other))
+
+
+def test_masks_hashable_and_equal_by_value():
+    a = CUMask.from_cus(TOPO, [1, 2])
+    b = CUMask.from_cus(TOPO, [2, 1])
+    assert a == b
+    assert len({a, b}) == 1
+
+
+@given(cu_sets)
+def test_from_cus_round_trips(cus):
+    mask = CUMask.from_cus(TOPO, cus)
+    assert set(mask.cus()) == cus
+    assert mask.count() == len(cus)
+
+
+@given(cu_sets, cu_sets)
+def test_algebra_matches_set_semantics(a_set, b_set):
+    a = CUMask.from_cus(TOPO, a_set)
+    b = CUMask.from_cus(TOPO, b_set)
+    assert set(a.union(b).cus()) == a_set | b_set
+    assert set(a.intersect(b).cus()) == a_set & b_set
+    assert set(a.subtract(b).cus()) == a_set - b_set
+
+
+@given(cu_sets)
+def test_per_se_counts_sum_to_count(cus):
+    mask = CUMask.from_cus(TOPO, cus)
+    assert sum(mask.per_se_counts()) == mask.count()
+
+
+@given(cu_sets)
+def test_invert_is_involution(cus):
+    mask = CUMask.from_cus(TOPO, cus)
+    assert mask.invert().invert() == mask
+    assert mask.union(mask.invert()) == CUMask.all_cus(TOPO)

@@ -1,0 +1,211 @@
+"""Unit and property tests for the dispatcher timing model.
+
+These tests pin down the three first-order effects the paper's Figure 8
+and Figures 4/6 rely on: latency plateaus, Packed spikes at 16/31/46
+active CUs, and Distributed steps at 15/11/7.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.exec_model import (
+    ExecutionModelConfig,
+    bandwidth_demand,
+    contended_latency,
+    effective_cus_per_se,
+    isolated_latency,
+    memory_throttle,
+    split_workgroups,
+)
+from repro.gpu.kernel import KernelDescriptor
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+CFG = ExecutionModelConfig(launch_overhead=0.0)
+
+
+def make_kernel(workgroups, occupancy=1, wg_duration=1e-5, mem=0.0):
+    return KernelDescriptor(
+        name="k", workgroups=workgroups, occupancy=occupancy,
+        wg_duration=wg_duration, mem_intensity=mem,
+    )
+
+
+def packed_mask(n):
+    return CUMask.first_n(TOPO, n)
+
+
+def distributed_mask(n):
+    cus = []
+    per_se = [n // TOPO.num_se] * TOPO.num_se
+    for rank in range(n % TOPO.num_se):
+        per_se[rank] += 1
+    for se, count in enumerate(per_se):
+        cus.extend(list(TOPO.cus_in_se(se))[:count])
+    return CUMask.from_cus(TOPO, cus)
+
+
+# -- split_workgroups ------------------------------------------------------
+
+def test_split_equal_across_active_ses():
+    assert split_workgroups(100, [15, 15, 15, 15]) == [25, 25, 25, 25]
+    assert split_workgroups(100, [15, 1, 0, 0]) == [50, 50, 0, 0]
+    assert split_workgroups(7, [1, 1, 1, 0]) == [3, 2, 2, 0]
+
+
+def test_split_zero_workgroups():
+    assert split_workgroups(0, [15, 15, 15, 15]) == [0, 0, 0, 0]
+
+
+def test_split_no_active_se():
+    assert split_workgroups(10, [0, 0, 0, 0]) == [0, 0, 0, 0]
+
+
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=8),
+)
+def test_split_conserves_workgroups(wgs, per_se):
+    shares = split_workgroups(wgs, per_se)
+    if any(per_se):
+        assert sum(shares) == wgs
+        active = [s for s, c in zip(shares, per_se) if c > 0]
+        assert max(active) - min(active) <= 1
+    else:
+        assert sum(shares) == 0
+    for share, cus in zip(shares, per_se):
+        if cus == 0:
+            assert share == 0
+
+
+# -- isolated latency -------------------------------------------------------
+
+def test_latency_plateau_until_wave_count_changes():
+    # 60 WGs, occupancy 1: on the full GPU each SE gets 15 WGs on 15 CUs ->
+    # 1 wave.  Shrinking (distributed) below 15 CUs/SE raises waves.
+    kernel = make_kernel(workgroups=60)
+    full = isolated_latency(kernel, CUMask.all_cus(TOPO), CFG)
+    assert isolated_latency(kernel, distributed_mask(60), CFG) == full
+    # 16 distributed CUs -> 4 per SE, 15 WGs per SE -> 4 waves
+    assert isolated_latency(kernel, distributed_mask(16), CFG) == 4 * full
+
+
+def test_packed_spike_at_16_cus():
+    # Packed 16 = SE0 full + 1 CU in SE1.  SE1 gets half the grid on one CU.
+    kernel = make_kernel(workgroups=120)
+    lat15 = isolated_latency(kernel, packed_mask(15), CFG)
+    lat16 = isolated_latency(kernel, packed_mask(16), CFG)
+    lat30 = isolated_latency(kernel, packed_mask(30), CFG)
+    assert lat16 > lat15  # adding a CU makes it SLOWER: the Fig. 8 spike
+    assert lat30 < lat16
+
+
+def test_packed_spikes_at_31_and_46():
+    kernel = make_kernel(workgroups=300)
+    for boundary in (31, 46):
+        below = isolated_latency(kernel, packed_mask(boundary - 1), CFG)
+        spike = isolated_latency(kernel, packed_mask(boundary), CFG)
+        assert spike > below
+
+
+def test_distributed_step_at_15():
+    # Distributed 15 CUs -> per-SE (4,4,4,3); the 3-CU SE bottlenecks, so
+    # 15 CUs performs like 12 (the paper's "spikes at 15, 11, 7").
+    kernel = make_kernel(workgroups=240)
+    lat15 = isolated_latency(kernel, distributed_mask(15), CFG)
+    lat12 = isolated_latency(kernel, distributed_mask(12), CFG)
+    lat16 = isolated_latency(kernel, distributed_mask(16), CFG)
+    assert lat15 == lat12
+    assert lat16 < lat15
+
+
+def test_occupancy_reduces_waves():
+    k1 = make_kernel(workgroups=120, occupancy=1)
+    k4 = make_kernel(workgroups=120, occupancy=4)
+    full = CUMask.all_cus(TOPO)
+    assert isolated_latency(k4, full, CFG) < isolated_latency(k1, full, CFG)
+
+
+def test_empty_mask_rejected():
+    with pytest.raises(ValueError):
+        isolated_latency(make_kernel(10), CUMask.none(TOPO), CFG)
+
+
+def test_launch_overhead_added():
+    cfg = ExecutionModelConfig(launch_overhead=1e-6)
+    kernel = make_kernel(workgroups=1)
+    lat = isolated_latency(kernel, CUMask.all_cus(TOPO), cfg)
+    assert lat == pytest.approx(kernel.wg_duration + 1e-6)
+
+
+@given(st.integers(min_value=1, max_value=5000),
+       st.integers(min_value=1, max_value=60))
+def test_more_cus_never_hurts_distributed(wgs, n):
+    """With balanced (conserved-style) masks, adding whole SE-balanced CUs
+    never increases latency beyond quantization plateaus."""
+    kernel = make_kernel(workgroups=wgs)
+    full = isolated_latency(kernel, CUMask.all_cus(TOPO), CFG)
+    lat = isolated_latency(kernel, distributed_mask(n), CFG)
+    assert lat >= full or math.isclose(lat, full)
+
+
+# -- contention -------------------------------------------------------------
+
+def test_contended_latency_doubles_with_two_residents():
+    kernel = make_kernel(workgroups=600)  # far past quantization floor
+    mask = CUMask.all_cus(TOPO)
+    alone = contended_latency(kernel, mask, {}, CFG)
+    shared = contended_latency(
+        kernel, mask, {cu: 2 for cu in range(60)}, CFG
+    )
+    # alpha=1.15 -> slightly worse than 2x fair share
+    assert shared > 2.0 * alone
+    assert shared < 3.0 * alone
+
+
+def test_contended_latency_never_below_isolated_floor():
+    kernel = make_kernel(workgroups=4)
+    mask = CUMask.all_cus(TOPO)
+    assert contended_latency(kernel, mask, {}, CFG) == isolated_latency(
+        kernel, mask, CFG
+    )
+
+
+def test_effective_cus_fair_share_alpha_one():
+    mask = CUMask.first_n(TOPO, 2)
+    cap = effective_cus_per_se(mask, {0: 2, 1: 4}, alpha=1.0)
+    assert cap[0] == pytest.approx(0.5 + 0.25)
+
+
+# -- memory bandwidth ---------------------------------------------------------
+
+def test_bandwidth_demand_scales_with_mask_and_intensity():
+    kernel = make_kernel(10, mem=0.5)
+    assert bandwidth_demand(kernel, CUMask.all_cus(TOPO)) == pytest.approx(0.5)
+    assert bandwidth_demand(kernel, CUMask.first_n(TOPO, 30)) == pytest.approx(0.25)
+
+
+def test_memory_throttle_no_oversubscription():
+    kernel = make_kernel(10, mem=1.0)
+    assert memory_throttle(kernel, 0.5, 0.9, CFG) == 1.0
+
+
+def test_memory_throttle_oversubscribed():
+    kernel = make_kernel(10, mem=1.0)
+    factor = memory_throttle(kernel, 1.0, 2.0, CFG)
+    assert factor == pytest.approx(0.5)
+
+
+def test_memory_throttle_compute_bound_unaffected():
+    kernel = make_kernel(10, mem=0.0)
+    assert memory_throttle(kernel, 0.0, 5.0, CFG) == 1.0
+
+
+def test_memory_throttle_partial_intensity():
+    kernel = make_kernel(10, mem=0.5)
+    factor = memory_throttle(kernel, 0.5, 2.0, CFG)
+    assert factor == pytest.approx(0.5 + 0.5 * 0.5)

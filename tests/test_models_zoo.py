@@ -1,0 +1,138 @@
+"""Calibration tests: the model zoo versus paper Table III."""
+
+import pytest
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+from repro.models.kernels import (
+    compute_kernel,
+    full_gpu_kernel,
+    giant_streaming_kernel,
+    streaming_kernel,
+    stretch_waves,
+)
+from repro.models.zoo import (
+    ALL_MODEL_NAMES,
+    MODEL_NAMES,
+    TABLE_III,
+    get_model,
+    vector_mul_kernel,
+)
+from repro.profiling.kernel_profiler import KernelProfiler
+from repro.profiling.model_profiler import run_inference_once
+
+TOPO = GpuTopology.mi50()
+PROFILER = KernelProfiler()
+
+
+# -- kernel templates hit their minCU targets -------------------------------
+
+@pytest.mark.parametrize("target", [4, 8, 12, 21, 26, 32, 45, 55])
+def test_compute_kernel_mincu(target):
+    desc = compute_kernel("t", target, 100e-6)
+    assert abs(PROFILER.min_cus(desc) - target) <= 1
+
+
+def test_full_gpu_kernel_mincu():
+    for waves in (1, 2, 3):
+        desc = full_gpu_kernel("f", 1e-3, waves=waves)
+        assert PROFILER.min_cus(desc) == 60
+
+
+@pytest.mark.parametrize("target", [4, 6, 8, 12, 21])
+def test_streaming_kernel_mincu(target):
+    desc = streaming_kernel("s", target, 50e-6)
+    assert abs(PROFILER.min_cus(desc) - target) <= 1
+
+
+@pytest.mark.parametrize("target", [6, 10, 15, 20])
+def test_giant_streaming_kernel_mincu_small_despite_huge_grid(target):
+    desc = giant_streaming_kernel("g", target, 500e-6)
+    assert desc.kernel_size > TOPO.max_threads  # above the thread limit
+    assert abs(PROFILER.min_cus(desc) - target) <= 3
+
+
+def test_stretch_waves_preserves_duration():
+    base = compute_kernel("t", 45, 1e-3, flat_frac=0.4)
+    stretched = stretch_waves(base, 3)
+    assert stretched.workgroups == base.workgroups * 3
+    full = CUMask.all_cus(TOPO)
+    lat_base = PROFILER.latency_at(base, 60)
+    lat_stretched = PROFILER.latency_at(stretched, 60)
+    assert lat_stretched == pytest.approx(lat_base, rel=1e-9)
+
+
+def test_template_validation():
+    with pytest.raises(ValueError):
+        compute_kernel("t", 0, 1e-3)
+    with pytest.raises(ValueError):
+        compute_kernel("t", 10, -1.0)
+    with pytest.raises(ValueError):
+        compute_kernel("t", 10, 1e-3, flat_frac=1.0)
+    with pytest.raises(ValueError):
+        full_gpu_kernel("f", 1e-3, waves=0)
+    with pytest.raises(ValueError):
+        giant_streaming_kernel("g", 60, 1e-3)
+
+
+# -- zoo-level calibration ----------------------------------------------------
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_kernel_count_matches_table3_exactly(name):
+    model = get_model(name)
+    assert model.kernel_count == TABLE_III[name][0]
+    assert len(model.trace(32)) == TABLE_III[name][0]
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_isolated_latency_within_25pct_of_table3(name):
+    model = get_model(name)
+    latency = run_inference_once(
+        model.trace(32), CUMask.all_cus(TOPO)
+    ) + model.host_gap_total(32)
+    paper = TABLE_III[name][2] * 1e-3
+    assert latency == pytest.approx(paper, rel=0.25)
+
+
+@pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+def test_traces_scale_with_batch(name):
+    model = get_model(name)
+    for batch in (8, 16, 32):
+        trace = model.trace(batch)
+        assert len(trace) == model.kernel_count
+    lat32 = run_inference_once(model.trace(32), CUMask.all_cus(TOPO))
+    lat8 = run_inference_once(model.trace(8), CUMask.all_cus(TOPO))
+    assert lat8 < lat32  # smaller batches are faster end-to-end
+
+
+def test_segments_partition_the_trace():
+    model = get_model("alexnet")
+    segments = model.segments(32)
+    flat = [d for burst, _gap in segments for d in burst]
+    assert [d.name for d in flat] == [d.name for d in model.trace(32)]
+    assert model.host_gap_total(32) == pytest.approx(
+        sum(gap for _b, gap in segments))
+    assert model.host_gap_total(32) > 0.03  # alexnet is host-heavy
+
+
+def test_models_without_gaps_have_single_segment():
+    model = get_model("vgg19")
+    segments = model.segments(32)
+    assert len(segments) == 1
+    assert segments[0][1] == 0.0
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        get_model("resnet9000")
+
+
+def test_invalid_batch_rejected():
+    with pytest.raises(ValueError):
+        get_model("albert").trace(0)
+
+
+def test_vector_mul_kernel_shape():
+    desc = vector_mul_kernel(workgroups=240)
+    assert desc.workgroups == 240
+    assert desc.name == "vectorMulKernel"

@@ -1,0 +1,59 @@
+"""Tests for the profiling cache layer (server/profiles.py)."""
+
+import json
+
+import pytest
+
+from repro.server import profiles
+from repro.server.profiles import (
+    cache_path,
+    combined_database,
+    model_database,
+    model_right_size,
+)
+
+
+def test_cache_path_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cache_path() == tmp_path / "rightsize.json"
+
+
+def test_right_size_persists_to_disk(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    model_right_size.cache_clear()
+    size = model_right_size("squeezenet", 32)
+    assert 15 <= size <= 30
+    payload = json.loads((tmp_path / "rightsize.json").read_text())
+    assert any("squeezenet" in key for key in payload)
+    # A fresh in-process cache hits the disk entry (no re-profiling):
+    # corrupt the stored value and confirm it is trusted.
+    key = next(iter(payload))
+    payload[key] = 59
+    (tmp_path / "rightsize.json").write_text(json.dumps(payload))
+    model_right_size.cache_clear()
+    assert model_right_size("squeezenet", 32) == 59
+    model_right_size.cache_clear()
+
+
+def test_corrupt_cache_file_is_ignored(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    (tmp_path / "rightsize.json").write_text("{not json")
+    model_right_size.cache_clear()
+    size = model_right_size("squeezenet", 32)
+    assert 15 <= size <= 30
+    model_right_size.cache_clear()
+
+
+def test_model_database_covers_trace_and_memoizes():
+    db1 = model_database("squeezenet", 32)
+    db2 = model_database("squeezenet", 32)
+    assert db1 is db2
+    assert len(db1) > 5
+
+
+def test_combined_database_merges_models():
+    merged = combined_database(("squeezenet", "shufflenet"), 32)
+    assert len(merged) >= len(model_database("squeezenet", 32))
+    from repro.models.zoo import get_model
+    for desc in get_model("shufflenet").trace(32):
+        assert merged.lookup(desc) is not None

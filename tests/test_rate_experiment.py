@@ -1,0 +1,62 @@
+"""Tests for the open-loop (rate-driven) serving extension."""
+
+import pytest
+
+from repro.server.experiment import ExperimentConfig, isolated_baseline, slo_target
+from repro.server.rate_experiment import max_sustainable_rate, run_rate_experiment
+
+MODEL = "squeezenet"
+
+
+def config(workers=2, policy="krisp-i"):
+    return ExperimentConfig(model_names=(MODEL,) * workers, policy=policy)
+
+
+def test_light_load_meets_isolated_latency():
+    base = isolated_baseline(MODEL)
+    light = run_rate_experiment(config(), offered_rps=0.2 * base.total_rps,
+                                duration=1.0)
+    assert not light.saturated
+    assert light.achieved_rps == pytest.approx(light.offered_rps, rel=0.2)
+    # Under light load there is little queueing: p95 near service latency.
+    assert light.latency.p95 < 2.5 * base.max_p95()
+
+
+def test_overload_saturates_and_queues():
+    base = isolated_baseline(MODEL)
+    heavy = run_rate_experiment(config(),
+                                offered_rps=5.0 * base.total_rps,
+                                duration=1.0)
+    assert heavy.saturated
+    assert heavy.achieved_rps < heavy.offered_rps
+    # Queueing-inclusive latency blows up under overload.
+    assert heavy.latency.p95 > 3.0 * base.max_p95()
+
+
+def test_latency_monotone_in_offered_load():
+    base = isolated_baseline(MODEL)
+    p95s = []
+    for factor in (0.3, 1.0, 3.0):
+        result = run_rate_experiment(
+            config(), offered_rps=factor * base.total_rps, duration=1.0)
+        p95s.append(result.latency.p95)
+    assert p95s[0] <= p95s[1] <= p95s[2]
+
+
+def test_max_sustainable_rate_is_between_bounds():
+    base = isolated_baseline(MODEL)
+    slo = slo_target(MODEL)
+    best = max_sustainable_rate(config(), slo,
+                                low_rps=0.2 * base.total_rps,
+                                high_rps=4.0 * base.total_rps,
+                                iterations=4)
+    # Two co-located workers sustain more than one isolated worker's
+    # throughput under the SLO, but less than the unreachable 4x bound.
+    assert base.total_rps < best < 4.0 * base.total_rps
+
+
+def test_rate_experiment_validation():
+    with pytest.raises(ValueError):
+        run_rate_experiment(config(), offered_rps=0.0)
+    with pytest.raises(ValueError):
+        max_sustainable_rate(config(), 1.0, low_rps=10.0, high_rps=5.0)

@@ -1,0 +1,165 @@
+"""Integration tests for the experiment harness and policies."""
+
+import pytest
+
+from repro.server.experiment import (
+    ExperimentConfig,
+    isolated_baseline,
+    normalized_rps,
+    run_experiment,
+    slo_target,
+)
+from repro.server.policies import POLICY_NAMES, WorkerPlan, get_policy
+from repro.server.profiles import model_right_size
+
+# Small, fast models keep these integration tests quick.
+FAST_MODEL = "squeezenet"
+
+
+def fast_config(**kwargs):
+    kwargs.setdefault("model_names", (FAST_MODEL,))
+    kwargs.setdefault("requests_scale", 0.5)
+    return ExperimentConfig(**kwargs)
+
+
+def test_isolated_baseline_sane():
+    base = isolated_baseline(FAST_MODEL)
+    assert base.total_rps > 0
+    assert base.workers[0].latency.p95 > 0
+    assert base.energy_per_request > 0
+    assert 0 < base.gpu_utilization <= 1.0
+
+
+def test_isolated_baseline_is_cached():
+    assert isolated_baseline(FAST_MODEL) is isolated_baseline(FAST_MODEL)
+
+
+def test_slo_target_is_twice_isolated_p95():
+    base = isolated_baseline(FAST_MODEL)
+    assert slo_target(FAST_MODEL) == pytest.approx(2.0 * base.max_p95())
+
+
+def test_experiment_is_deterministic():
+    config = fast_config(model_names=(FAST_MODEL,) * 2, policy="krisp-i")
+    a = run_experiment(config)
+    b = run_experiment(config)
+    assert a.total_rps == b.total_rps
+    assert a.max_p95() == b.max_p95()
+    assert a.energy_joules == b.energy_joules
+
+
+def test_seed_changes_jitter_not_structure():
+    a = run_experiment(fast_config(seed=1))
+    b = run_experiment(fast_config(seed=2))
+    # Host jitter differs between seeds, but the structure does not.
+    assert a.workers[0].latency.mean != b.workers[0].latency.mean
+    assert a.total_rps == pytest.approx(b.total_rps, rel=0.1)
+    assert a.max_p95() == pytest.approx(b.max_p95(), rel=0.1)
+
+
+def test_two_workers_increase_throughput():
+    one = run_experiment(fast_config())
+    two = run_experiment(fast_config(model_names=(FAST_MODEL,) * 2,
+                                     policy="krisp-i"))
+    assert two.total_rps > 1.4 * one.total_rps
+
+
+def test_all_policies_run_mixed_pair():
+    for policy in POLICY_NAMES:
+        result = run_experiment(fast_config(
+            model_names=("squeezenet", "shufflenet"), policy=policy))
+        assert len(result.workers) == 2
+        assert {w.model_name for w in result.workers} == {
+            "squeezenet", "shufflenet"}
+        assert result.total_rps > 0
+
+
+def test_normalized_rps_isolated_is_one():
+    base = isolated_baseline(FAST_MODEL)
+    assert normalized_rps(base) == pytest.approx(1.0)
+
+
+def test_emulated_krisp_runs_slower_per_request():
+    native = run_experiment(fast_config(policy="krisp-i"))
+    emulated = run_experiment(fast_config(policy="krisp-i", emulated=True))
+    assert emulated.workers[0].latency.mean > native.workers[0].latency.mean
+
+
+def test_overlap_limit_override():
+    result = run_experiment(fast_config(
+        model_names=(FAST_MODEL,) * 2, policy="krisp-o", overlap_limit=15))
+    assert result.total_rps > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(model_names=())
+    with pytest.raises(ValueError):
+        ExperimentConfig(model_names=("albert",), batch_size=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(model_names=("albert",), requests_scale=0)
+    with pytest.raises(KeyError):
+        run_experiment(fast_config(policy="does-not-exist"))
+
+
+def test_exec_config_overrides():
+    config = fast_config(intra_cu_alpha=1.3, mem_bandwidth_budget=2.0)
+    exec_config = config.exec_config()
+    assert exec_config.intra_cu_alpha == 1.3
+    assert exec_config.mem_bandwidth_budget == 2.0
+    default = fast_config().exec_config()
+    assert default.intra_cu_alpha == 1.15
+
+
+# -- policies -----------------------------------------------------------------
+
+def test_static_equal_partitions_are_disjoint_and_equal():
+    from repro.gpu.device import GpuDevice
+    from repro.models.zoo import get_model
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    device = GpuDevice(sim)
+    policy = get_policy("static-equal")
+    plans = [WorkerPlan(get_model(FAST_MODEL))] * 4
+    streams = policy.setup(sim, device, plans)
+    masks = [s.queue.cu_mask for s in streams]
+    assert all(m.count() == 15 for m in masks)
+    for i, a in enumerate(masks):
+        for b in masks[i + 1:]:
+            assert a.intersect(b).is_empty()
+
+
+def test_model_rightsize_masks_match_profiles():
+    from repro.gpu.device import GpuDevice
+    from repro.models.zoo import get_model
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    device = GpuDevice(sim)
+    policy = get_policy("model-rightsize")
+    plans = [WorkerPlan(get_model(FAST_MODEL)),
+             WorkerPlan(get_model("shufflenet"))]
+    streams = policy.setup(sim, device, plans)
+    assert streams[0].queue.cu_mask.count() == model_right_size(FAST_MODEL, 32)
+    assert streams[1].queue.cu_mask.count() == model_right_size("shufflenet", 32)
+    # Both kneepoints fit on the device: no overlap.
+    assert streams[0].queue.cu_mask.intersect(
+        streams[1].queue.cu_mask).is_empty()
+
+
+def test_mps_default_shares_everything():
+    from repro.gpu.device import GpuDevice
+    from repro.models.zoo import get_model
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    device = GpuDevice(sim)
+    streams = get_policy("mps-default").setup(
+        sim, device, [WorkerPlan(get_model(FAST_MODEL))] * 2)
+    assert all(s.queue.cu_mask.count() == 60 for s in streams)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(KeyError):
+        get_policy("fair-scheduler")

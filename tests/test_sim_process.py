@@ -1,0 +1,113 @@
+"""Unit tests for processes and signals."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal
+
+
+def test_signal_wakes_waiters_with_value():
+    sim = Simulator()
+    seen = []
+    signal = Signal(sim, "s")
+    signal.on_fire(seen.append)
+    sim.schedule(1.0, lambda: signal.fire(42))
+    sim.run()
+    assert seen == [42]
+    assert signal.fired and signal.value == 42
+
+
+def test_signal_fires_only_once():
+    sim = Simulator()
+    seen = []
+    signal = Signal(sim)
+    signal.on_fire(seen.append)
+    signal.fire(1)
+    signal.fire(2)
+    sim.run()
+    assert seen == [1]
+    assert signal.value == 1
+
+
+def test_late_waiter_resumes_immediately():
+    sim = Simulator()
+    seen = []
+    signal = Signal(sim)
+    signal.fire("early")
+    signal.on_fire(seen.append)
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_process_sleeps():
+    sim = Simulator()
+    times = []
+
+    def body():
+        times.append(sim.now)
+        yield 1.5
+        times.append(sim.now)
+        yield 0.5
+        times.append(sim.now)
+
+    Process(sim, body())
+    sim.run()
+    assert times == [0.0, 1.5, 2.0]
+
+
+def test_process_waits_on_signal_and_receives_value():
+    sim = Simulator()
+    signal = Signal(sim)
+    got = []
+
+    def body():
+        value = yield signal
+        got.append((sim.now, value))
+
+    Process(sim, body())
+    sim.schedule(3.0, lambda: signal.fire("payload"))
+    sim.run()
+    assert got == [(3.0, "payload")]
+
+
+def test_process_done_signal_carries_return_value():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+        return "result"
+
+    proc = Process(sim, body())
+    results = []
+    proc.done.on_fire(results.append)
+    sim.run()
+    assert results == ["result"]
+
+
+def test_processes_compose_via_done():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield 2.0
+        return "child-out"
+
+    def parent():
+        proc = Process(sim, child())
+        value = yield proc.done
+        log.append((sim.now, value))
+
+    Process(sim, parent())
+    sim.run()
+    assert log == [(2.0, "child-out")]
+
+
+def test_process_rejects_bad_yield():
+    sim = Simulator()
+
+    def body():
+        yield "nonsense"
+
+    Process(sim, body(), name="bad")
+    with pytest.raises(TypeError):
+        sim.run()

@@ -1,0 +1,123 @@
+"""Tests for model JSON serialisation and the MPS GPU% layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.topology import GpuTopology
+from repro.models.trace_io import (
+    load_model,
+    model_from_json,
+    model_to_json,
+    save_model,
+)
+from repro.models.zoo import get_model
+from repro.runtime.mps import (
+    MpsControlDaemon,
+    cus_to_gpu_percentage,
+    gpu_percentage_to_cus,
+)
+
+TOPO = GpuTopology.mi50()
+
+
+# -- trace_io -----------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["albert", "vgg19", "squeezenet"])
+def test_zoo_models_round_trip(name, tmp_path):
+    model = get_model(name)
+    path = tmp_path / f"{name}.json"
+    save_model(model, path)
+    loaded = load_model(path)
+    assert loaded.name == model.name
+    assert loaded.specs == model.specs
+    assert loaded.paper_p95_ms == model.paper_p95_ms
+    # The reloaded model lowers to identical descriptors.
+    assert loaded.trace(32) == model.trace(32)
+    assert loaded.segments(32) == model.segments(32)
+
+
+def test_model_json_validation():
+    with pytest.raises(ValueError):
+        model_from_json('{"name": "x"}')
+    with pytest.raises(ValueError):
+        model_from_json('{"name": "x", "kernels": []}')
+    with pytest.raises(ValueError):
+        model_from_json(
+            '{"name": "x", "kernels": [{"style": "stream"}]}')
+    with pytest.raises(ValueError):
+        model_from_json(
+            '{"name": "x", "kernels": [{"style": "stream", "name": "k",'
+            ' "duration": 1e-5, "bogus": 1}]}')
+
+
+def test_hand_authored_model_loads():
+    text = """
+    {"name": "mini",
+     "kernels": [
+       {"style": "compute", "name": "gemm", "duration": 1e-4,
+        "min_cus": 20},
+       {"style": "stream", "name": "relu", "duration": 1e-5,
+        "min_cus": 4, "sync_gap": 1e-3}
+     ]}
+    """
+    model = model_from_json(text)
+    assert model.kernel_count == 2
+    assert model.host_gap_total(32) == pytest.approx(1e-3)
+    segments = model.segments(32)
+    assert len(segments) == 1  # the gap sits on the final kernel
+    assert segments[0][1] == pytest.approx(1e-3)
+
+
+# -- MPS GPU% layer ------------------------------------------------------------
+
+def test_percentage_to_cus_rounds_up():
+    assert gpu_percentage_to_cus(100.0, TOPO) == 60
+    assert gpu_percentage_to_cus(50.0, TOPO) == 30
+    assert gpu_percentage_to_cus(1.0, TOPO) == 1
+    assert gpu_percentage_to_cus(33.4, TOPO) == 21
+
+
+def test_cus_to_percentage_inverse():
+    for cus in (1, 15, 30, 60):
+        pct = cus_to_gpu_percentage(cus, TOPO)
+        assert gpu_percentage_to_cus(pct, TOPO) == cus
+
+
+@given(st.floats(min_value=0.1, max_value=100.0))
+def test_round_trip_never_shrinks(pct):
+    cus = gpu_percentage_to_cus(pct, TOPO)
+    assert gpu_percentage_to_cus(cus_to_gpu_percentage(cus, TOPO), TOPO) == cus
+
+
+def test_bounds_rejected():
+    with pytest.raises(ValueError):
+        gpu_percentage_to_cus(0.0, TOPO)
+    with pytest.raises(ValueError):
+        gpu_percentage_to_cus(101.0, TOPO)
+    with pytest.raises(ValueError):
+        cus_to_gpu_percentage(0, TOPO)
+
+
+def test_daemon_allocates_disjoint_until_full():
+    daemon = MpsControlDaemon(TOPO)
+    a = daemon.create_client(50.0)
+    b = daemon.create_client(50.0)
+    assert a.mask.count() == 30 and b.mask.count() == 30
+    assert a.mask.intersect(b.mask).is_empty()
+    assert not daemon.oversubscribed
+
+
+def test_daemon_oversubscription_wraps():
+    daemon = MpsControlDaemon(TOPO)
+    a = daemon.create_client(75.0)
+    b = daemon.create_client(75.0)
+    assert daemon.oversubscribed
+    assert not a.mask.intersect(b.mask).is_empty()
+    assert b.mask.count() == 45
+
+
+def test_client_ids_increment():
+    daemon = MpsControlDaemon(TOPO)
+    assert daemon.create_client(10).client_id == 0
+    assert daemon.create_client(10).client_id == 1
