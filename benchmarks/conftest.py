@@ -24,12 +24,13 @@ os.environ.setdefault(
     "REPRO_CACHE_DIR", str(Path(__file__).resolve().parent.parent / ".cache")
 )
 
+from repro.exp.cache import cached_run_experiment  # noqa: E402
+from repro.exp.sweep import Sweep, run_sweep  # noqa: E402
 from repro.models.zoo import MODEL_NAMES  # noqa: E402
 from repro.server.experiment import (  # noqa: E402
     ExperimentConfig,
     isolated_baseline,
     normalized_rps,
-    run_experiment,
 )
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -49,23 +50,47 @@ def write_result(name: str, text: str) -> None:
 
 
 class ColocationGrid:
-    """Lazily computed grid of co-location cells for one batch size."""
+    """Lazily computed grid of co-location cells for one batch size.
+
+    :meth:`prefetch` fills many cells at once through the parallel sweep
+    orchestrator (``REPRO_JOBS`` workers, on-disk result cache); single
+    misses fall back to an in-process cached run.
+    """
 
     def __init__(self, batch_size: int, requests_scale: float = 1.0) -> None:
         self.batch_size = batch_size
         self.requests_scale = requests_scale
         self._cells: dict = {}
 
+    def _config(self, model: str, policy: str,
+                workers: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            model_names=(model,) * workers,
+            policy=policy,
+            batch_size=self.batch_size,
+            requests_scale=self.requests_scale,
+        )
+
+    def prefetch(self, models=MODEL_NAMES, policies=POLICIES,
+                 worker_counts=WORKER_COUNTS) -> "ColocationGrid":
+        """Compute every missing cell of a sub-grid in one parallel sweep."""
+        keys = [(model, policy, workers)
+                for model in models for policy in policies
+                for workers in worker_counts]
+        missing = [key for key in keys if key not in self._cells]
+        if missing:
+            sweep = Sweep(self._config(*key) for key in missing)
+            report = run_sweep(sweep)
+            report.raise_failures()
+            for key in missing:
+                self._cells[key] = report.results[self._config(*key)]
+        return self
+
     def cell(self, model: str, policy: str, workers: int):
         """Experiment result for one (model, policy, workers) cell."""
         key = (model, policy, workers)
         if key not in self._cells:
-            self._cells[key] = run_experiment(ExperimentConfig(
-                model_names=(model,) * workers,
-                policy=policy,
-                batch_size=self.batch_size,
-                requests_scale=self.requests_scale,
-            ))
+            self._cells[key] = cached_run_experiment(self._config(*key))
         return self._cells[key]
 
     def normalized(self, model: str, policy: str, workers: int) -> float:

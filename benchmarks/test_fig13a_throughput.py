@@ -15,6 +15,7 @@ from repro.server.metrics import geomean
 
 def test_fig13a_throughput(benchmark, grid32):
     def run():
+        grid32.prefetch()  # parallel sweep over all missing grid cells
         norm = {}
         for model in MODEL_NAMES:
             for policy in POLICIES:

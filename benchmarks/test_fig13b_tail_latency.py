@@ -15,6 +15,7 @@ from repro.server.experiment import slo_target
 
 def test_fig13b_tail_latency(benchmark, grid32):
     def run():
+        grid32.prefetch()  # parallel sweep over all missing grid cells
         cells = {}
         for model in MODEL_NAMES:
             for policy in POLICIES:

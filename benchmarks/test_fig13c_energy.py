@@ -17,6 +17,7 @@ from repro.server.metrics import geomean
 
 def test_fig13c_energy(benchmark, grid32):
     def run():
+        grid32.prefetch()  # parallel sweep over all missing grid cells
         ratio = {}
         for model in MODEL_NAMES:
             base = grid32.baseline(model).energy_per_request

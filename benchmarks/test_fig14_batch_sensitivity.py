@@ -14,6 +14,7 @@ from repro.server.metrics import geomean
 
 
 def _geomeans(grid):
+    grid.prefetch()  # parallel sweep over all missing grid cells
     return {policy: {
         k: geomean([grid.normalized(m, policy, k) for m in MODEL_NAMES])
         for k in WORKER_COUNTS} for policy in POLICIES}
@@ -55,6 +56,9 @@ def test_fig14_mps_gap_closes_at_small_batch(benchmark, grid32, grid8):
     """Contention matters less at batch 8: MPS Default's deficit versus
     KRISP-I shrinks relative to batch 32."""
     def run():
+        for grid in (grid32, grid8):
+            grid.prefetch(policies=("krisp-i", "mps-default"),
+                          worker_counts=(4,))
         gap32 = (geomean([grid32.normalized(m, "krisp-i", 4)
                           for m in MODEL_NAMES])
                  / geomean([grid32.normalized(m, "mps-default", 4)

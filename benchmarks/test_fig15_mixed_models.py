@@ -12,8 +12,9 @@ import itertools
 from conftest import write_result
 
 from repro.analysis.tables import format_table
+from repro.exp.sweep import Sweep, run_sweep
 from repro.models.zoo import MODEL_NAMES
-from repro.server.experiment import ExperimentConfig, normalized_rps, run_experiment
+from repro.server.experiment import ExperimentConfig, normalized_rps
 from repro.server.metrics import BoxplotStats, geomean
 
 PAIR_POLICIES = ("mps-default", "model-rightsize", "krisp-o", "krisp-i")
@@ -22,10 +23,14 @@ PAIRS = list(itertools.combinations(MODEL_NAMES, 2))
 
 def test_fig15_mixed_models(benchmark):
     def run():
+        sweep = Sweep().add_pairs(MODEL_NAMES, PAIR_POLICIES,
+                                  requests_scale=0.6)
+        report = run_sweep(sweep)
+        report.raise_failures()
         samples = {policy: [] for policy in PAIR_POLICIES}
         for a, b in PAIRS:
             for policy in PAIR_POLICIES:
-                result = run_experiment(ExperimentConfig(
+                result = report.result(ExperimentConfig(
                     model_names=(a, b), policy=policy,
                     requests_scale=0.6))
                 samples[policy].append(normalized_rps(result))

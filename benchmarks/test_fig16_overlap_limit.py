@@ -18,7 +18,8 @@ companion test quantifies that design improvement directly.
 from conftest import write_result
 
 from repro.analysis.series import format_series
-from repro.server.experiment import ExperimentConfig, normalized_rps, run_experiment
+from repro.exp.sweep import Sweep, run_sweep
+from repro.server.experiment import ExperimentConfig, normalized_rps
 from repro.server.metrics import geomean
 
 LIMITS = (0, 8, 15, 16, 23, 30, 31, 38, 45, 46, 53, 60)
@@ -27,24 +28,35 @@ LIMITS = (0, 8, 15, 16, 23, 30, 31, 38, 45, 46, 53, 60)
 SWEEP_MODELS = ("resnext101", "vgg19", "resnet152")
 
 
-def _cell(model, workers, limit, reshape=True):
-    return normalized_rps(run_experiment(ExperimentConfig(
+def _config(model, workers, limit, reshape=True):
+    return ExperimentConfig(
         model_names=(model,) * workers,
         policy="krisp-o",
         overlap_limit=limit,
         allocator_reshape=reshape,
         requests_scale=0.7,
-    )))
+    )
 
 
-def _sweep(workers):
-    return [geomean([_cell(m, workers, limit) for m in SWEEP_MODELS])
-            for limit in LIMITS]
+def _run_cells(configs):
+    """One parallel sweep over the given cells -> {config: normalized}."""
+    report = run_sweep(Sweep(configs))
+    report.raise_failures()
+    return {config: normalized_rps(report.result(config))
+            for config in configs}
 
 
 def test_fig16_overlap_limit(benchmark):
     def run():
-        return {2: _sweep(2), 4: _sweep(4)}
+        configs = [_config(m, workers, limit)
+                   for workers in (2, 4)
+                   for limit in LIMITS
+                   for m in SWEEP_MODELS]
+        norm = _run_cells(configs)
+        return {workers: [
+            geomean([norm[_config(m, workers, limit)]
+                     for m in SWEEP_MODELS])
+            for limit in LIMITS] for workers in (2, 4)}
 
     curves = benchmark.pedantic(run, rounds=1, iterations=1)
 
@@ -74,12 +86,12 @@ def test_fig16_reshape_removes_se_imbalance_penalty(benchmark):
     balanced regrant (our refinement) never performs worse than the
     literal Algorithm 1 under a mid-range overlap limit."""
     def run():
-        out = {}
-        for reshape in (False, True):
-            out[reshape] = geomean([
-                _cell(m, 4, limit=23, reshape=reshape)
-                for m in SWEEP_MODELS])
-        return out
+        configs = [_config(m, 4, limit=23, reshape=reshape)
+                   for reshape in (False, True) for m in SWEEP_MODELS]
+        norm = _run_cells(configs)
+        return {reshape: geomean([
+            norm[_config(m, 4, limit=23, reshape=reshape)]
+            for m in SWEEP_MODELS]) for reshape in (False, True)}
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
     write_result(

@@ -14,6 +14,7 @@ from repro.models.zoo import MODEL_NAMES
 
 def test_table4_max_concurrency(benchmark, grid32):
     def run():
+        grid32.prefetch()  # parallel sweep over all missing grid cells
         concurrency = {}
         for model in MODEL_NAMES:
             for policy in POLICIES:

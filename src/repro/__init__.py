@@ -16,6 +16,8 @@ AMD MI50-class GPU:
 * :mod:`repro.server` - the inference server, partitioning policies, and
   the co-location experiment harness;
 * :mod:`repro.baselines` - process-scoped prior-work baselines;
+* :mod:`repro.exp` - parallel sweep orchestration with a
+  content-addressed on-disk result cache;
 * :mod:`repro.analysis` - result formatting and utilization analysis.
 
 Quick start::
@@ -38,6 +40,6 @@ Quick start::
     sim.run()
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -9,6 +9,8 @@ be explored without writing code:
   p95 vs SLO, and energy per inference under a chosen policy.
 * ``table3`` — regenerate the Table III workload characterisation.
 * ``rate MODEL --rps N`` — open-loop serving at a fixed request rate.
+* ``sweep [MODEL...]`` — a whole co-location grid (models x policies x
+  worker counts) fanned out over a process pool with result caching.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.series import ascii_curve
 from repro.analysis.tables import format_table
-from repro.models.zoo import ALL_MODEL_NAMES, TABLE_III, get_model
+from repro.models.zoo import ALL_MODEL_NAMES, MODEL_NAMES, TABLE_III, get_model
 from repro.profiling.model_profiler import kernel_mincu_trace, profile_model
 from repro.server.experiment import (
     ExperimentConfig,
@@ -103,6 +105,52 @@ def _cmd_rate(args: argparse.Namespace) -> int:
     return 1 if result.saturated else 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exp.sweep import Sweep, default_jobs, run_sweep
+
+    models = tuple(args.models) if args.models else tuple(MODEL_NAMES)
+    sweep = Sweep().add_grid(
+        models, tuple(args.policies), tuple(args.workers),
+        batch_size=args.batch)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"\r[{done}/{total}] {label:<48}", end="",
+              file=sys.stderr, flush=True)
+
+    report = run_sweep(sweep, jobs=jobs, cache=not args.no_cache,
+                       retries=args.retries, progress=progress)
+    print(file=sys.stderr)
+
+    rows = []
+    for config in report.cells:
+        label = "+".join(dict.fromkeys(config.model_names)) \
+            if len(set(config.model_names)) > 1 else config.model_names[0]
+        try:
+            result = report.result(config)
+        except RuntimeError:
+            rows.append([label, config.policy, len(config.model_names),
+                         "FAILED", "-", "-"])
+            continue
+        rows.append([label, config.policy, len(config.model_names),
+                     f"{result.total_rps:.0f}",
+                     f"{result.max_p95() * 1e3:.1f}",
+                     f"{result.energy_per_request:.2f}"])
+    print(format_table(
+        ["model", "policy", "workers", "rps", "max p95 (ms)", "J/req"],
+        rows, title=f"sweep over {len(report.cells)} cells "
+                    f"(batch {args.batch})"))
+    print(f"\n{report.summary()}")
+    if report.failed:
+        for failure in report.failed:
+            print(f"\nFAILED {'+'.join(failure.config.model_names)}/"
+                  f"{failure.config.policy} "
+                  f"after {failure.attempts} attempts:\n{failure.traceback}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``krisp-repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -137,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
     rate.add_argument("--batch", type=int, default=32)
     rate.add_argument("--duration", type=float, default=2.0)
     rate.set_defaults(func=_cmd_rate)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a co-location grid in parallel with caching")
+    sweep.add_argument("models", nargs="*", choices=ALL_MODEL_NAMES,
+                       help="models to sweep (default: the Table III zoo)")
+    sweep.add_argument("--policies", "-p", nargs="+", choices=POLICY_NAMES,
+                       default=list(POLICY_NAMES))
+    sweep.add_argument("--workers", "-n", nargs="+", type=int,
+                       default=[1, 2, 4],
+                       help="worker counts (each model co-located with "
+                            "itself)")
+    sweep.add_argument("--batch", type=int, default=32)
+    def positive_int(value: str) -> int:
+        jobs = int(value)
+        if jobs < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return jobs
+
+    sweep.add_argument("--jobs", "-j", type=positive_int, default=None,
+                       help="process-pool size (default: REPRO_JOBS or "
+                            "cpu_count - 1; 1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache entirely")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="extra attempts per failing cell")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

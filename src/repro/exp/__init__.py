@@ -1,0 +1,47 @@
+"""Sweep orchestration: parallel experiment grids with result caching.
+
+The evaluation grids of the paper (Fig. 13's policies x workers x models,
+Fig. 15's 28 model pairs, Fig. 16's overlap-limit sweep) are
+embarrassingly parallel: every :class:`~repro.server.experiment
+.ExperimentConfig` cell is frozen, hashable, and seed-deterministic.
+This package exploits that shape twice over:
+
+* :mod:`repro.exp.cache` — a content-addressed on-disk result store, so
+  a cell computed once is never recomputed until the configuration, the
+  timing-model constants, or the repro version changes;
+* :mod:`repro.exp.sweep` — a grid builder plus :func:`run_sweep`, which
+  fans independent cells out over a process pool with per-cell
+  retry-on-failure and a structured report.
+"""
+
+from repro.exp.cache import (
+    CacheStats,
+    JsonStore,
+    ResultCache,
+    cache_key,
+    cached_run_experiment,
+    default_cache,
+    fingerprint,
+)
+from repro.exp.sweep import (
+    CellFailure,
+    Sweep,
+    SweepReport,
+    default_jobs,
+    run_sweep,
+)
+
+__all__ = [
+    "CacheStats",
+    "JsonStore",
+    "ResultCache",
+    "cache_key",
+    "cached_run_experiment",
+    "default_cache",
+    "fingerprint",
+    "CellFailure",
+    "Sweep",
+    "SweepReport",
+    "default_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,306 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every :class:`~repro.server.experiment.ExperimentConfig` is a frozen,
+seed-deterministic description of one evaluation cell, so its result is a
+pure function of (config, timing-model constants, repro version).  The
+cache keys on a stable SHA-256 digest of exactly that triple: change any
+config field, any :class:`~repro.gpu.exec_model.ExecutionModelConfig`
+default, the device topology, or the package version, and the key — and
+therefore the cache entry — changes with it.  Stale results can never be
+served across a model change.
+
+Corrupt or truncated cache files are *misses*, never crashes: they are
+counted in :class:`CacheStats` and logged, then recomputed.  All writes
+are best-effort (a read-only cache directory degrades to no caching).
+
+Set ``REPRO_CACHE_DIR`` to relocate the store (shared with the profiling
+cache in :mod:`repro.server.profiles`); delete the directory to clear it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import repro
+from repro.gpu.exec_model import ExecutionModelConfig
+from repro.gpu.topology import GpuTopology
+from repro.server.experiment import (
+    SLO_FACTOR,
+    ExperimentConfig,
+    ExperimentResult,
+    WorkerResult,
+    run_experiment,
+)
+from repro.server.metrics import LatencyStats
+
+__all__ = [
+    "CacheStats",
+    "JsonStore",
+    "ResultCache",
+    "cache_key",
+    "cached_run_experiment",
+    "default_cache",
+    "fingerprint",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the serialized payload layout changes (invalidates entries).
+CACHE_SCHEMA = 1
+
+
+def cache_root() -> Path:
+    """Root of the on-disk cache (``REPRO_CACHE_DIR`` or the default)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return Path(root) if root else Path.home() / ".cache" / "repro-krisp"
+
+
+def fingerprint() -> dict[str, Any]:
+    """The code-relevant constants folded into every cache key.
+
+    A result is only reusable while the experiment cell *and* the model
+    that produced it are unchanged, so the key covers the repro version,
+    the payload schema, the evaluation topology, the timing-model
+    defaults, and the SLO definition.
+    """
+    topo = GpuTopology.mi50()
+    exec_defaults = ExecutionModelConfig()
+    return {
+        "version": repro.__version__,
+        "schema": CACHE_SCHEMA,
+        "topology": dataclasses.asdict(topo),
+        "exec_model": dataclasses.asdict(exec_defaults),
+        "slo_factor": SLO_FACTOR,
+    }
+
+
+def config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    """JSON-native form of one experiment cell (tuples become lists, so
+    the dict compares equal to its own JSON round-trip)."""
+    data = dataclasses.asdict(config)
+    data["model_names"] = list(data["model_names"])
+    return data
+
+
+def config_from_dict(payload: dict[str, Any]) -> ExperimentConfig:
+    """Inverse of :func:`config_to_dict`."""
+    data = dict(payload)
+    data["model_names"] = tuple(data["model_names"])
+    return ExperimentConfig(**data)
+
+
+def cache_key(config: ExperimentConfig,
+              constants: Optional[dict[str, Any]] = None) -> str:
+    """Stable content hash of (config, code constants, repro version)."""
+    payload = {
+        "config": config_to_dict(config),
+        "constants": constants if constants is not None else fingerprint(),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+# -- result (de)serialisation ------------------------------------------------
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """JSON-friendly form of one experiment result.
+
+    Floats survive a JSON round-trip bit-exactly (``repr`` round-trip),
+    so a cache hit reproduces the live result field-for-field.
+    """
+    return {
+        "config": config_to_dict(result.config),
+        "workers": [
+            {
+                "model_name": w.model_name,
+                "requests_completed": w.requests_completed,
+                "rps": w.rps,
+                "latency": dataclasses.asdict(w.latency),
+            }
+            for w in result.workers
+        ],
+        "window": result.window,
+        "total_rps": result.total_rps,
+        "energy_joules": result.energy_joules,
+        "energy_per_request": result.energy_per_request,
+        "gpu_utilization": result.gpu_utilization,
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    return ExperimentResult(
+        config=config_from_dict(payload["config"]),
+        workers=tuple(
+            WorkerResult(
+                model_name=w["model_name"],
+                requests_completed=w["requests_completed"],
+                rps=w["rps"],
+                latency=LatencyStats(**w["latency"]),
+            )
+            for w in payload["workers"]
+        ),
+        window=payload["window"],
+        total_rps=payload["total_rps"],
+        energy_joules=payload["energy_joules"],
+        energy_per_request=payload["energy_per_request"],
+        gpu_utilization=payload["gpu_utilization"],
+    )
+
+
+# -- stores ------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation accounting for one store."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Corrupt, truncated, or key-mismatched entries treated as misses.
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class JsonStore:
+    """A dict-shaped key/value store persisted as one JSON file.
+
+    Generalises the ad-hoc right-size cache of
+    :mod:`repro.server.profiles`: corrupt files are counted misses, not
+    crashes, and writes are best-effort.
+    """
+
+    path: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def load(self) -> dict[str, Any]:
+        """The whole store; ``{}`` on absence or corruption."""
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return {}
+        except OSError:
+            self.stats.invalidations += 1
+            return {}
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict):
+                raise ValueError("store root is not an object")
+            return data
+        except ValueError:
+            self.stats.invalidations += 1
+            logger.warning("discarding corrupt cache file %s", self.path)
+            return {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value for ``key`` or ``default``."""
+        data = self.load()
+        if key in data:
+            self.stats.hits += 1
+            return data[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Best-effort read-modify-write of one entry."""
+        data = self.load()
+        data[key] = value
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(data, indent=2, sort_keys=True))
+            self.stats.stores += 1
+        except OSError:
+            pass  # caching is best-effort; computation still works
+
+
+class ResultCache:
+    """Content-addressed store of experiment results, one file per cell."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        """``root=None`` re-reads ``REPRO_CACHE_DIR`` on every access, so
+        one long-lived instance follows environment changes."""
+        self._root = root
+        self.stats = CacheStats()
+
+    def root(self) -> Path:
+        return self._root if self._root is not None else cache_root()
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """On-disk location of one cell's cached result."""
+        return self.root() / "results" / f"{cache_key(config)}.json"
+
+    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+        """Cached result for ``config``, or ``None`` on any kind of miss."""
+        path = self.path_for(config)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not an object")
+            if payload.get("config") != config_to_dict(config):
+                raise ValueError("cache entry config mismatch")
+            result = result_from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            logger.warning("discarding corrupt result cache entry %s", path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: ExperimentResult) -> None:
+        """Best-effort store of one cell's result."""
+        path = self.path_for(config)
+        payload = {
+            "constants": fingerprint(),
+            "config": config_to_dict(config),
+            "result": result_to_dict(result),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            self.stats.stores += 1
+        except OSError:
+            pass
+
+
+_DEFAULT_CACHE = ResultCache()
+
+
+def default_cache() -> ResultCache:
+    """The process-wide result cache (root follows ``REPRO_CACHE_DIR``)."""
+    return _DEFAULT_CACHE
+
+
+def cached_run_experiment(
+    config: ExperimentConfig, cache: Optional[ResultCache] = None
+) -> ExperimentResult:
+    """:func:`~repro.server.experiment.run_experiment` through the cache."""
+    store = cache if cache is not None else default_cache()
+    result = store.get(config)
+    if result is None:
+        result = run_experiment(config)
+        store.put(config, result)
+    return result

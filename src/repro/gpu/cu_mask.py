@@ -105,6 +105,37 @@ class CUMask:
         """True when no CU is enabled."""
         return self.bits == 0
 
+    # -- word encoding ------------------------------------------------------
+    def to_words(self, word_bits: int = 32) -> tuple[int, ...]:
+        """Fixed-width little-endian word encoding of the mask.
+
+        Word ``i`` bit ``j`` maps to global CU ``i * word_bits + j`` —
+        the layout ``hsa_amd_queue_cu_set_mask`` expects for its uint32
+        array.  Always emits enough words to cover the whole device, so
+        the encoding length is a function of the topology alone.
+        """
+        if word_bits < 1:
+            raise ValueError("word_bits must be >= 1")
+        num_words = -(-self.topology.total_cus // word_bits)
+        word_mask = (1 << word_bits) - 1
+        return tuple((self.bits >> (i * word_bits)) & word_mask
+                     for i in range(num_words))
+
+    @classmethod
+    def from_words(cls, topology: GpuTopology, words: Iterable[int],
+                   word_bits: int = 32) -> "CUMask":
+        """Inverse of :meth:`to_words`; validates word range and device
+        bounds (bits beyond ``total_cus`` are rejected, not dropped)."""
+        if word_bits < 1:
+            raise ValueError("word_bits must be >= 1")
+        bits = 0
+        for i, word in enumerate(words):
+            if not 0 <= word < (1 << word_bits):
+                raise ValueError(
+                    f"word {i} (0x{word:x}) out of {word_bits}-bit range")
+            bits |= word << (i * word_bits)
+        return cls(topology, bits)
+
     # -- set algebra --------------------------------------------------------
     def union(self, other: "CUMask") -> "CUMask":
         """CUs enabled in either mask."""

@@ -226,8 +226,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 @lru_cache(maxsize=None)
 def isolated_baseline(model_name: str, batch_size: int = 32,
                       seed: int = 0) -> ExperimentResult:
-    """The 1-worker unrestricted reference cell for ``model_name``."""
-    return run_experiment(ExperimentConfig(
+    """The 1-worker unrestricted reference cell for ``model_name``.
+
+    Routed through the content-addressed result cache (lazily imported —
+    :mod:`repro.exp.cache` depends on this module) so a warm sweep re-run
+    does not recompute the normalisation baselines either.
+    """
+    from repro.exp.cache import cached_run_experiment
+    return cached_run_experiment(ExperimentConfig(
         model_names=(model_name,),
         policy="mps-default",
         batch_size=batch_size,

@@ -4,8 +4,9 @@ Model-wise right-sizes (the Model Right-Size policy's input) and kernel
 performance databases (KRISP's input) are offline profiling products.
 Both are deterministic functions of the model zoo and the timing model,
 so they are memoised in-process; right-sizes — the only expensive sweep —
-are additionally persisted to a JSON cache on disk (the analogue of the
-paper's install-time profiling databases).
+are additionally persisted through the :class:`~repro.exp.cache
+.JsonStore` on disk (the analogue of the paper's install-time profiling
+databases).  Corrupt cache files are treated as misses and recomputed.
 
 Set ``REPRO_CACHE_DIR`` to relocate the on-disk cache; delete the file to
 force re-profiling.
@@ -13,8 +14,6 @@ force re-profiling.
 
 from __future__ import annotations
 
-import json
-import os
 from functools import lru_cache
 from pathlib import Path
 
@@ -29,29 +28,20 @@ _RIGHTSIZE_TOLERANCE = 0.05
 
 
 def cache_path() -> Path:
-    """Location of the persistent right-size cache."""
-    root = os.environ.get("REPRO_CACHE_DIR")
-    base = Path(root) if root else Path.home() / ".cache" / "repro-krisp"
-    return base / "rightsize.json"
+    """Location of the persistent right-size cache.
+
+    Compatibility shim: the store itself now lives in
+    :mod:`repro.exp.cache`, but the ``REPRO_CACHE_DIR`` semantics and the
+    ``rightsize.json`` layout are unchanged.
+    """
+    from repro.exp.cache import cache_root
+    return cache_root() / "rightsize.json"
 
 
-def _load_disk_cache() -> dict[str, int]:
-    path = cache_path()
-    if not path.exists():
-        return {}
-    try:
-        return {str(k): int(v) for k, v in json.loads(path.read_text()).items()}
-    except (ValueError, OSError):
-        return {}
-
-
-def _store_disk_cache(cache: dict[str, int]) -> None:
-    path = cache_path()
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(cache, indent=2, sort_keys=True))
-    except OSError:
-        pass  # caching is best-effort; profiling still works without it
+def _store():
+    """The right-size store (re-resolves ``REPRO_CACHE_DIR`` per call)."""
+    from repro.exp.cache import JsonStore
+    return JsonStore(cache_path())
 
 
 @lru_cache(maxsize=None)
@@ -63,17 +53,20 @@ def model_right_size(model_name: str, batch_size: int = 32) -> int:
     inference passes.
     """
     key = f"{model_name}|{batch_size}|{_RIGHTSIZE_TOLERANCE}"
-    disk = _load_disk_cache()
-    if key in disk:
-        return disk[key]
+    store = _store()
+    cached = store.get(key)
+    if cached is not None:
+        try:
+            return int(cached)
+        except (TypeError, ValueError):
+            pass  # corrupt value: fall through and re-profile
     sensitivity = profile_model(
         get_model(model_name),
         batch_size=batch_size,
         cu_counts=range(2, 61),
         tolerance=_RIGHTSIZE_TOLERANCE,
     )
-    disk[key] = sensitivity.right_size
-    _store_disk_cache(disk)
+    store.put(key, sensitivity.right_size)
     return sensitivity.right_size
 
 

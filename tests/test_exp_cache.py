@@ -1,0 +1,166 @@
+"""Tests for the content-addressed result cache (repro/exp/cache.py)."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro
+from repro.exp.cache import (
+    JsonStore,
+    ResultCache,
+    cache_key,
+    cache_root,
+    cached_run_experiment,
+    config_from_dict,
+    config_to_dict,
+    fingerprint,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.server.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    WorkerResult,
+)
+from repro.server.metrics import LatencyStats
+
+BASE = ExperimentConfig(
+    model_names=("squeezenet", "shufflenet"),
+    policy="krisp-i",
+    batch_size=8,
+    seed=3,
+    overlap_limit=4,
+    requests_scale=0.5,
+)
+
+#: One distinct mutation per ExperimentConfig field.
+FIELD_VARIANTS = {
+    "model_names": ("squeezenet",),
+    "policy": "krisp-o",
+    "batch_size": 16,
+    "seed": 4,
+    "emulated": True,
+    "overlap_limit": None,
+    "requests_scale": 0.75,
+    "intra_cu_alpha": 1.3,
+    "mem_bandwidth_budget": 0.8,
+    "allocator_reshape": False,
+}
+
+
+def _synthetic_result(config: ExperimentConfig) -> ExperimentResult:
+    stats = LatencyStats(count=7, mean=0.010, p50=0.009, p95=0.013,
+                         p99=0.014, maximum=0.0145)
+    workers = tuple(
+        WorkerResult(model_name=name, requests_completed=7,
+                     rps=100.0 + i, latency=stats)
+        for i, name in enumerate(config.model_names)
+    )
+    return ExperimentResult(
+        config=config, workers=workers, window=0.5,
+        total_rps=sum(w.rps for w in workers), energy_joules=12.5,
+        energy_per_request=0.893, gpu_utilization=0.61,
+    )
+
+
+def test_every_config_field_changes_the_key():
+    assert set(FIELD_VARIANTS) == {
+        f.name for f in dataclasses.fields(ExperimentConfig)
+    }, "update FIELD_VARIANTS when ExperimentConfig grows a field"
+    keys = {cache_key(BASE)}
+    for name, value in FIELD_VARIANTS.items():
+        variant = dataclasses.replace(BASE, **{name: value})
+        keys.add(cache_key(variant))
+    assert len(keys) == len(FIELD_VARIANTS) + 1
+
+
+def test_repro_version_changes_the_key(monkeypatch):
+    before = cache_key(BASE)
+    monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+    assert cache_key(BASE) != before
+
+
+def test_explicit_constants_change_the_key():
+    constants = dict(fingerprint(), slo_factor=3.0)
+    assert cache_key(BASE, constants) != cache_key(BASE)
+
+
+def test_cache_key_is_stable_across_calls():
+    assert cache_key(BASE) == cache_key(BASE)
+
+
+def test_config_round_trips_through_json():
+    payload = json.loads(json.dumps(config_to_dict(BASE)))
+    assert config_from_dict(payload) == BASE
+
+
+def test_result_round_trips_through_json():
+    result = _synthetic_result(BASE)
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    assert result_from_dict(payload) == result
+
+
+def test_result_cache_round_trip(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    assert cache.get(BASE) is None
+    assert cache.stats.misses == 1
+    result = _synthetic_result(BASE)
+    cache.put(BASE, result)
+    assert cache.get(BASE) == result
+    assert cache.stats.hits == 1
+    # A different config misses even with the store populated.
+    other = dataclasses.replace(BASE, seed=99)
+    assert cache.get(other) is None
+
+
+@pytest.mark.parametrize("corruption", [
+    "",                      # truncated to nothing
+    "{not json",             # invalid syntax
+    '{"config": {}, "result": {}}',  # config mismatch
+    '[1, 2, 3]',             # wrong root type
+])
+def test_corrupt_result_entries_are_misses(monkeypatch, tmp_path, corruption):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    cache.put(BASE, _synthetic_result(BASE))
+    cache.path_for(BASE).write_text(corruption)
+    assert cache.get(BASE) is None
+    assert cache.stats.invalidations == 1
+    # The corrupt file was quarantined, so a re-put works cleanly.
+    cache.put(BASE, _synthetic_result(BASE))
+    assert cache.get(BASE) is not None
+
+
+def test_cached_run_experiment_recomputes_after_corruption(monkeypatch,
+                                                           tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    config = ExperimentConfig(("squeezenet",), batch_size=4,
+                              requests_scale=0.25)
+    first = cached_run_experiment(config, cache)
+    cache.path_for(config).write_text("{truncated")
+    second = cached_run_experiment(config, cache)
+    assert first == second
+    assert cache.stats.invalidations == 1
+
+
+def test_json_store_corruption_is_a_miss(tmp_path):
+    store = JsonStore(tmp_path / "store.json")
+    assert store.get("k") is None
+    store.put("k", 42)
+    assert store.get("k") == 42
+    (tmp_path / "store.json").write_text("{broken")
+    assert store.get("k") is None
+    assert store.stats.invalidations >= 1
+    # put() over a corrupt file rebuilds it.
+    store.put("k", 43)
+    assert store.get("k") == 43
+
+
+def test_cache_root_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert cache_root() == tmp_path
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert cache_root().name == "repro-krisp"

@@ -1,0 +1,166 @@
+"""Property-style invariant tests (seeded stdlib ``random``, no deps).
+
+Randomised cases over Algorithm 1's resource-mask generation and the
+CU-mask word encoding.  These invariants are what make the parallel
+sweep orchestrator safe: allocation is a pure function of (request,
+counters), so identical cells produce identical masks in any process.
+
+* masks never exceed the overlap limit (the only exception is the
+  documented fair-share floor, which grants exactly ``floor`` CUs);
+* Conserved never opens a new SE while a used SE has free CUs;
+* the popcount of every mask equals the requested CU count when overlap
+  is unbounded;
+* ``CUMask`` round-trips through its fixed-width word encoding.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.allocation import (
+    DistributionPolicy,
+    ResourceMaskGenerator,
+    se_distribution,
+)
+from repro.gpu.counters import CUKernelCounters
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+
+TOPO = GpuTopology.mi50()
+CASES = 200
+
+
+def _random_counters(rng: random.Random,
+                     max_kernels: int = 6) -> CUKernelCounters:
+    """Counters after a random number of random-mask kernel dispatches."""
+    counters = CUKernelCounters(TOPO)
+    for _ in range(rng.randrange(max_kernels + 1)):
+        size = rng.randint(1, TOPO.total_cus)
+        cus = rng.sample(range(TOPO.total_cus), size)
+        counters.assign(CUMask.from_cus(TOPO, cus))
+    return counters
+
+
+def _fair_share_floor(counters: CUKernelCounters) -> int:
+    """The generator's fair-share floor for the current device load."""
+    load = math.ceil(counters.total_assigned() / TOPO.total_cus)
+    return max(1, TOPO.total_cus // (load + 1))
+
+
+def test_mask_popcount_equals_request_when_overlap_unbounded():
+    rng = random.Random(0xA11C)
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=None)
+    for _ in range(CASES):
+        counters = _random_counters(rng)
+        request = rng.randint(1, TOPO.total_cus)
+        mask = gen.generate(request, counters)
+        assert mask.count() == request
+
+
+def test_masks_respect_the_overlap_limit():
+    """Literal Algorithm 1 (reshape=False): the number of occupied CUs
+    in a generated mask never exceeds the overlap limit, except when the
+    fair-share floor had to top a starved kernel up — and then the grant
+    is exactly the floor."""
+    rng = random.Random(0xB0B)
+    for _ in range(CASES):
+        limit = rng.randint(0, 12)
+        gen = ResourceMaskGenerator(TOPO, overlap_limit=limit,
+                                    reshape=False)
+        counters = _random_counters(rng)
+        floor = _fair_share_floor(counters)
+        request = rng.randint(1, TOPO.total_cus)
+        mask = gen.generate(request, counters)
+        overlapped = sum(1 for cu in mask.cus() if counters.count(cu) > 0)
+        assert overlapped <= limit or mask.count() <= floor, (
+            f"limit={limit} floor={floor} request={request} "
+            f"overlapped={overlapped} granted={mask.count()}"
+        )
+
+
+def test_isolated_mode_never_overlaps_while_clean_ses_suffice():
+    """KRISP-I (limit 0) when the request fits inside the untouched SEs:
+    the mask must be disjoint from every occupied CU.  (When free CUs are
+    fragmented across loaded SEs, the documented fair-share floor may
+    overlap — covered by ``test_masks_respect_the_overlap_limit``.)"""
+    rng = random.Random(0xC0FFEE)
+    gen = ResourceMaskGenerator(TOPO, overlap_limit=0, reshape=False)
+    clean_cus = (TOPO.num_se - 1) * TOPO.cus_per_se
+    for _ in range(CASES):
+        counters = CUKernelCounters(TOPO)
+        # Confine the existing kernels to the last SE, so the least-loaded
+        # SEs chosen by Algorithm 1 are wholly free.
+        last_se = list(TOPO.cus_in_se(TOPO.num_se - 1))
+        for _ in range(rng.randrange(3)):
+            busy = rng.sample(last_se, rng.randint(1, len(last_se)))
+            counters.assign(CUMask.from_cus(TOPO, busy))
+        mask = gen.generate(rng.randint(1, clean_cus), counters)
+        assert not mask.is_empty()
+        assert all(counters.count(cu) == 0 for cu in mask.cus())
+
+
+def test_generate_never_returns_an_empty_mask():
+    rng = random.Random(0xDEAD)
+    for limit in (0, 1, None):
+        gen = ResourceMaskGenerator(TOPO, overlap_limit=limit)
+        for _ in range(50):
+            counters = _random_counters(rng, max_kernels=12)
+            mask = gen.generate(rng.randint(1, TOPO.total_cus), counters)
+            assert not mask.is_empty()
+
+
+def test_conserved_opens_the_fewest_possible_ses():
+    """Conserved never opens a new SE while a used SE has free CUs: the
+    number of SEs holding CUs is exactly ceil(n / cus_per_se), and the
+    split across them is balanced to within one CU."""
+    rng = random.Random(0x5E)
+    for _ in range(CASES):
+        n = rng.randint(1, TOPO.total_cus)
+        counts = se_distribution(n, TOPO, DistributionPolicy.CONSERVED)
+        used = [c for c in counts if c > 0]
+        assert sum(counts) == n
+        assert len(used) == math.ceil(n / TOPO.cus_per_se)
+        assert max(used) - min(used) <= 1
+        assert max(used) <= TOPO.cus_per_se
+
+
+def test_conserved_generated_masks_use_minimal_ses_on_idle_device():
+    rng = random.Random(0x1D1E)
+    gen = ResourceMaskGenerator(TOPO, policy=DistributionPolicy.CONSERVED)
+    for _ in range(CASES):
+        n = rng.randint(1, TOPO.total_cus)
+        mask = gen.generate(n, CUKernelCounters(TOPO))
+        assert mask.count() == n
+        per_se = [c for c in mask.per_se_counts() if c > 0]
+        assert len(per_se) == math.ceil(n / TOPO.cus_per_se)
+        assert max(per_se) - min(per_se) <= 1
+
+
+def test_cu_mask_word_encoding_round_trips():
+    rng = random.Random(0xF00D)
+    topologies = [TOPO] + [
+        GpuTopology(num_se=rng.randint(1, 8), cus_per_se=rng.randint(1, 20))
+        for _ in range(10)
+    ]
+    for topo in topologies:
+        for _ in range(30):
+            bits = rng.getrandbits(topo.total_cus)
+            mask = CUMask(topo, bits)
+            for word_bits in (16, 32, 64):
+                words = mask.to_words(word_bits)
+                assert len(words) == math.ceil(topo.total_cus / word_bits)
+                assert all(0 <= w < (1 << word_bits) for w in words)
+                assert CUMask.from_words(topo, words, word_bits) == mask
+
+
+def test_cu_mask_word_encoding_rejects_bad_words():
+    with pytest.raises(ValueError, match="out of 32-bit range"):
+        CUMask.from_words(TOPO, [1 << 32])
+    with pytest.raises(ValueError, match="out of 32-bit range"):
+        CUMask.from_words(TOPO, [-1])
+    # Bits beyond the device are rejected by mask validation, not dropped.
+    with pytest.raises(ValueError, match="outside"):
+        CUMask.from_words(TOPO, [0, 0xFFFFFFFF])
+    with pytest.raises(ValueError, match="word_bits"):
+        CUMask.all_cus(TOPO).to_words(0)
