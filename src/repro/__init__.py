@@ -18,6 +18,8 @@ AMD MI50-class GPU:
 * :mod:`repro.baselines` - process-scoped prior-work baselines;
 * :mod:`repro.exp` - parallel sweep orchestration with a
   content-addressed on-disk result cache;
+* :mod:`repro.obs` - observability: sim-clock tracer (Perfetto export
+  with request-to-kernel flows), metrics registry, sim-time sampler;
 * :mod:`repro.analysis` - result formatting and utilization analysis.
 
 Quick start::
@@ -40,6 +42,6 @@ Quick start::
     sim.run()
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -1,10 +1,10 @@
 """Chrome-trace export of device kernel traces.
 
-Serialises a device's recorded kernel execution into the Chrome Trace
-Event Format (the JSON ``chrome://tracing`` / Perfetto consume), with one
-timeline row per worker tag and per-kernel metadata (mask size, SE
-shape).  Handy for eyeballing exactly where partitions overlap — the
-visual equivalent of the paper's Fig. 1.
+Thin backward-compatible wrapper over the observability layer: the event
+construction now lives in
+:func:`repro.obs.tracer.events_from_kernel_records`, and richer traces
+(request lifecycle, mask decisions, flow arrows) come from recording a
+run through :class:`repro.obs.Tracer` — see ``krisp-repro trace``.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Sequence, Union
 
 from repro.gpu.device import KernelRecord
+from repro.obs.tracer import events_from_kernel_records
 
 __all__ = ["trace_events", "export_chrome_trace"]
 
@@ -24,32 +25,7 @@ def trace_events(trace: Sequence[KernelRecord]) -> list[dict]:
     Timestamps are microseconds, as the format requires.  Each worker tag
     becomes a thread row; kernels carry their CU-mask metadata as args.
     """
-    tags = sorted({record.launch.tag or "untagged" for record in trace})
-    tid_of = {tag: index + 1 for index, tag in enumerate(tags)}
-    events: list[dict] = [
-        {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
-         "args": {"name": tag}}
-        for tag, tid in tid_of.items()
-    ]
-    for record in trace:
-        if record.end_time is None:
-            continue
-        desc = record.launch.descriptor
-        events.append({
-            "name": desc.name,
-            "ph": "X",
-            "pid": 1,
-            "tid": tid_of[record.launch.tag or "untagged"],
-            "ts": record.start_time * 1e6,
-            "dur": (record.end_time - record.start_time) * 1e6,
-            "args": {
-                "cus": record.mask.count(),
-                "per_se": record.mask.per_se_counts(),
-                "workgroups": desc.workgroups,
-                "requested_cus": record.launch.requested_cus,
-            },
-        })
-    return events
+    return events_from_kernel_records(trace)
 
 
 def export_chrome_trace(trace: Sequence[KernelRecord],

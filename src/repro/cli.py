@@ -11,6 +11,8 @@ be explored without writing code:
 * ``rate MODEL --rps N`` — open-loop serving at a fixed request rate.
 * ``sweep [MODEL...]`` — a whole co-location grid (models x policies x
   worker counts) fanned out over a process pool with result caching.
+* ``trace MODEL [MODEL...]`` — run one cell with full tracing and write
+  a Perfetto-loadable Chrome trace plus a metrics summary.
 """
 
 from __future__ import annotations
@@ -114,12 +116,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         batch_size=args.batch)
     jobs = args.jobs if args.jobs is not None else default_jobs()
 
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    hits = registry.counter("sweep_cache_hits_total")
+    misses = registry.counter("sweep_cache_misses_total")
+    last_cell = registry.gauge("sweep_last_cell_seconds")
+
     def progress(done: int, total: int, label: str) -> None:
-        print(f"\r[{done}/{total}] {label:<48}", end="",
-              file=sys.stderr, flush=True)
+        print(f"\r[{done}/{total}] {label:<48} "
+              f"cache {int(hits.value)}H/{int(misses.value)}M "
+              f"last {last_cell.value:.1f}s",
+              end="", file=sys.stderr, flush=True)
 
     report = run_sweep(sweep, jobs=jobs, cache=not args.no_cache,
-                       retries=args.retries, progress=progress)
+                       retries=args.retries, progress=progress,
+                       metrics=registry)
     print(file=sys.stderr)
 
     rows = []
@@ -148,6 +160,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"after {failure.attempts} attempts:\n{failure.traceback}",
                   file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
+
+    names = tuple(args.models) * args.workers if len(args.models) == 1 \
+        else tuple(args.models)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    result = run_experiment(
+        ExperimentConfig(
+            model_names=names, policy=args.policy, batch_size=args.batch,
+            emulated=args.emulated, requests_scale=args.scale,
+        ),
+        tracer=tracer,
+        metrics=registry,
+        sample_interval=args.sample_interval,
+    )
+    events = tracer.write_chrome_trace(args.out)
+    counts = tracer.counts()
+    print(f"wrote {events} trace events to {args.out} "
+          f"({counts['span']} spans, {counts['instant']} instants, "
+          f"{counts['counter']} counter samples, {counts['flow']} flow "
+          f"events)")
+    print(f"requests: {tracer.requests_traced}  "
+          f"kernels: {tracer.kernels_traced}  "
+          f"mask decisions: {tracer.mask_decisions}  "
+          f"barriers: {tracer.barriers}")
+    print(f"peak CU occupancy: {result.peak_cu_occupancy}  "
+          f"total rps: {result.total_rps:.0f}")
+    if args.metrics_out:
+        from pathlib import Path
+        Path(args.metrics_out).write_text(registry.to_prometheus())
+        print(f"wrote {len(registry)} metric series to {args.metrics_out}")
+    print("\nmetrics summary:")
+    for line in registry.summary_lines():
+        print(f"  {line}")
+    print("\nopen the trace at https://ui.perfetto.dev (or "
+          "chrome://tracing)")
     return 0
 
 
@@ -211,6 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retries", type=int, default=1,
                        help="extra attempts per failing cell")
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="trace one co-location cell into a Perfetto JSON")
+    trace.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
+    trace.add_argument("--workers", "-n", type=int, default=2,
+                       help="replicas when a single model is given")
+    trace.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                       default="krisp-i")
+    trace.add_argument("--batch", type=int, default=32)
+    trace.add_argument("--emulated", action="store_true",
+                       help="route launches through the barrier-packet "
+                            "emulation path")
+    trace.add_argument("--scale", type=float, default=1.0,
+                       help="measurement-window scale (requests_scale)")
+    trace.add_argument("--out", "-o", default="trace.json",
+                       help="Chrome trace output path")
+    trace.add_argument("--metrics-out", default=None,
+                       help="also write Prometheus text metrics here")
+    trace.add_argument("--sample-interval", type=float, default=250e-6,
+                       help="sim-time metrics sampling period in seconds")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

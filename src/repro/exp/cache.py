@@ -53,7 +53,8 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 #: Bump when the serialized payload layout changes (invalidates entries).
-CACHE_SCHEMA = 1
+#: Schema 2: adds ``LatencyStats.p999`` and ``peak_cu_occupancy``.
+CACHE_SCHEMA = 2
 
 
 def cache_root() -> Path:
@@ -131,6 +132,7 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "energy_joules": result.energy_joules,
         "energy_per_request": result.energy_per_request,
         "gpu_utilization": result.gpu_utilization,
+        "peak_cu_occupancy": result.peak_cu_occupancy,
     }
 
 
@@ -152,6 +154,7 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
         energy_joules=payload["energy_joules"],
         energy_per_request=payload["energy_per_request"],
         gpu_utilization=payload["gpu_utilization"],
+        peak_cu_occupancy=payload.get("peak_cu_occupancy", 0),
     )
 
 

@@ -216,6 +216,7 @@ def run_sweep(
     cache_store: Optional[ResultCache] = None,
     retries: int = 1,
     progress: Optional[ProgressFn] = None,
+    metrics=None,
 ) -> SweepReport:
     """Run every cell of ``sweep``; never raises for individual cells.
 
@@ -223,6 +224,12 @@ def run_sweep(
     ``jobs=1`` runs serially in-process.  ``cache=False`` bypasses the
     result store entirely (no reads, no writes).  Each failing cell is
     retried ``retries`` more times before landing in ``report.failed``.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives live
+    ``sweep_cache_hits_total`` / ``sweep_cache_misses_total`` counters, a
+    ``sweep_last_cell_seconds`` gauge, and a ``sweep_cell_seconds``
+    histogram — updated as cells resolve so a progress callback can read
+    them mid-sweep.
     """
     cells = Sweep(sweep).cells if not isinstance(sweep, Sweep) \
         else sweep.cells
@@ -234,6 +241,18 @@ def run_sweep(
         raise ValueError("retries must be >= 0")
     store = (cache_store if cache_store is not None else default_cache()) \
         if cache else None
+
+    m_hits = m_misses = m_last = m_hist = None
+    if metrics is not None:
+        m_hits = metrics.counter(
+            "sweep_cache_hits_total", "Result-cache hits during the sweep")
+        m_misses = metrics.counter(
+            "sweep_cache_misses_total", "Result-cache misses during the sweep")
+        m_last = metrics.gauge(
+            "sweep_last_cell_seconds",
+            "Wall time of the most recently executed cell")
+        m_hist = metrics.histogram(
+            "sweep_cell_seconds", "Per-cell execution wall time")
 
     start = time.perf_counter()
     results: dict[ExperimentConfig, ExperimentResult] = {}
@@ -254,7 +273,13 @@ def run_sweep(
             if hit is not None:
                 results[config] = hit
                 cached += 1
+                if m_hits is not None:
+                    m_hits.inc()
                 tick(config)
+            elif m_misses is not None:
+                m_misses.inc()
+    elif m_misses is not None:
+        m_misses.inc(len(cells))
 
     pending = [c for c in cells if c not in results]
     attempts = {c: 0 for c in pending}
@@ -266,6 +291,9 @@ def run_sweep(
         result, duration, error, tb = outcome
         cell_time += duration
         attempts[config] += 1
+        if m_last is not None:
+            m_last.set(duration)
+            m_hist.observe(duration)
         if result is not None:
             results[config] = result
             if store is not None:

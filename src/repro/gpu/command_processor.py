@@ -160,6 +160,9 @@ class CommandProcessor:
                 assert self.allocator is not None
                 mask = self.allocator.allocate(launch, self.device)
                 self.masks_generated += 1
+                tracer = self.sim.tracer
+                if tracer.enabled:
+                    tracer.mask_decision(launch, mask, self.device)
             else:
                 mask = state.queue.cu_mask
             record = self.device.launch(launch, mask)

@@ -16,29 +16,50 @@ __all__ = ["CUKernelCounters"]
 
 
 class CUKernelCounters:
-    """Tracks the number of kernels assigned to each compute unit."""
+    """Tracks the number of kernels assigned to each compute unit.
+
+    Besides the live counts the structure keeps two high-water marks for
+    observability: ``peak_counts`` (per-CU maximum residency) and
+    ``peak_busy_cus`` (maximum number of simultaneously busy CUs — the
+    cell's peak CU occupancy, surfaced in
+    :class:`~repro.server.experiment.ExperimentResult`).
+    """
 
     def __init__(self, topology: GpuTopology) -> None:
         self.topology = topology
         self._counts = [0] * topology.total_cus
+        self._peaks = [0] * topology.total_cus
+        self._busy = 0
+        self.peak_busy_cus = 0
 
     def assign(self, mask: CUMask) -> None:
         """Record a kernel dispatched onto every CU in ``mask``."""
         limit = self.topology.max_kernels_per_cu
+        counts = self._counts
+        peaks = self._peaks
         for cu in mask.cus():
-            if self._counts[cu] >= limit:
+            if counts[cu] >= limit:
                 raise OverflowError(
                     f"CU {cu} already holds {limit} kernels "
                     f"(counter width exceeded)"
                 )
-            self._counts[cu] += 1
+            if counts[cu] == 0:
+                self._busy += 1
+            counts[cu] += 1
+            if counts[cu] > peaks[cu]:
+                peaks[cu] = counts[cu]
+        if self._busy > self.peak_busy_cus:
+            self.peak_busy_cus = self._busy
 
     def release(self, mask: CUMask) -> None:
         """Record a kernel retiring from every CU in ``mask``."""
+        counts = self._counts
         for cu in mask.cus():
-            if self._counts[cu] == 0:
+            if counts[cu] == 0:
                 raise ValueError(f"CU {cu} counter underflow")
-            self._counts[cu] -= 1
+            counts[cu] -= 1
+            if counts[cu] == 0:
+                self._busy -= 1
 
     def count(self, cu: int) -> int:
         """Kernels currently assigned to global CU ``cu``."""
@@ -63,7 +84,7 @@ class CUKernelCounters:
 
     def busy_cus(self) -> int:
         """Number of CUs with at least one resident kernel."""
-        return sum(1 for n in self._counts if n > 0)
+        return self._busy
 
     def busy_mask(self) -> CUMask:
         """Mask of CUs with at least one resident kernel."""
@@ -78,3 +99,7 @@ class CUKernelCounters:
     def snapshot(self) -> list[int]:
         """Copy of the raw per-CU counts."""
         return list(self._counts)
+
+    def peak_counts(self) -> list[int]:
+        """Copy of the per-CU high-water marks (max residency ever seen)."""
+        return list(self._peaks)

@@ -130,6 +130,9 @@ class GpuDevice:
         self._running[launch.launch_id] = record
         if self.record_trace:
             self.trace.append(record)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.kernel_launched(record)
         self._commit_state_change()
         return record
 
@@ -140,6 +143,11 @@ class GpuDevice:
     def running_count(self) -> int:
         """Number of kernels currently executing."""
         return len(self._running)
+
+    @property
+    def bandwidth_demand(self) -> float:
+        """Total bandwidth demand of the resident kernels (budget units)."""
+        return self._total_demand
 
     def finalize(self) -> None:
         """Close the energy-integration segment at the current time.
@@ -268,6 +276,9 @@ class GpuDevice:
             self._total_demand = 0.0  # absorb float drift at idle points
         self._commit_state_change()
         self.kernels_completed += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.kernel_retired(record)
         if record.on_complete is not None:
             record.on_complete(record)
         record.done.fire(record)

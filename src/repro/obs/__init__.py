@@ -1,0 +1,39 @@
+"""Unified observability layer: tracing, metrics, and sim-time sampling.
+
+* :mod:`repro.obs.tracer` — typed spans/instants/counters/flows driven
+  by the simulator clock, exported as Perfetto-loadable Chrome traces;
+  :data:`~repro.obs.tracer.NULL_TRACER` is the zero-overhead disabled
+  default every :class:`~repro.sim.engine.Simulator` starts with.
+* :mod:`repro.obs.metrics` — counter/gauge/streaming-histogram registry
+  with JSON and Prometheus text export.
+* :mod:`repro.obs.sampler` — periodic sampling of CU occupancy, per-SE
+  load, queue depth, and bandwidth pressure into a registry.
+
+All three modules are standard-library-only so any layer of the stack
+(including :mod:`repro.sim.engine`) can import them without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+from repro.obs.sampler import SimSampler
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SimSampler",
+    "TraceRecord",
+    "Tracer",
+    "exponential_buckets",
+    "linear_buckets",
+]

@@ -1,0 +1,336 @@
+"""Metrics registry: counters, gauges, and streaming histograms.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer (the tracer being the event half): components and the sim-time
+sampler record into named metric families — optionally labelled, in the
+Prometheus data-model sense — and the registry exports everything as
+JSON or as Prometheus text exposition format.
+
+Histograms are *streaming*: fixed bucket bounds chosen at creation plus
+running count/sum/min/max, so memory stays O(buckets) regardless of how
+many samples a long simulation feeds in.  Percentiles are bucket-bound
+estimates (exact for values landing on bounds, otherwise the bucket's
+upper bound capped at the observed maximum).
+
+Standard-library only, like the tracer, so any layer of the stack may
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "linear_buckets",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def exponential_buckets(start: float, factor: float,
+                        count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket bounds starting at ``start``."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return tuple(start * factor ** i for i in range(count))
+
+
+def linear_buckets(start: float, width: float,
+                   count: int) -> tuple[float, ...]:
+    """``count`` evenly spaced bucket bounds starting at ``start``."""
+    if width <= 0 or count < 1:
+        raise ValueError("need width > 0, count >= 1")
+    return tuple(start + width * i for i in range(count))
+
+
+#: Default histogram bounds: 1 µs .. ~67 s, factor 2 (latency-shaped).
+DEFAULT_BUCKETS = exponential_buckets(1e-6, 2.0, 27)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A streaming histogram over fixed bucket bounds.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything above the last bound (Prometheus ``+Inf`` semantics).
+    """
+
+    name: str
+    labels: LabelKey = ()
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("bucket bounds must be ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Bucket-bound estimate of the ``pct``-th percentile."""
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} has no samples")
+        if not 0 < pct <= 100:
+            raise ValueError(f"pct={pct} out of (0, 100]")
+        target = max(1, math.ceil(pct / 100.0 * self.count))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max)
+                return self.max
+        return self.max  # pragma: no cover - cumulative always reaches count
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+        out.append((math.inf, self.count))
+        return out
+
+
+@dataclass
+class _Family:
+    """One named metric family: a type, help text, and labelled series."""
+
+    kind: str
+    help: str
+    buckets: Optional[tuple[float, ...]] = None
+    series: dict[LabelKey, Any] = field(default_factory=dict)
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(labels: LabelKey, extra: Iterable[tuple[str, str]] = ()
+                   ) -> str:
+    pairs = [f'{k}="{_escape(v)}"' for k, v in (*labels, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters, gauges, and histograms.
+
+    Metric families are keyed by name; calling the factory again with
+    the same name and labels returns the existing series, so call sites
+    do not need to share metric handles explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- factories ---------------------------------------------------------
+    def _family(self, name: str, kind: str, help: str,
+                buckets: Optional[tuple[float, ...]] = None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(kind=kind, help=help, buckets=buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = Counter(name, key)
+            family.series[key] = series
+        return series
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = Gauge(name, key)
+            family.series[key] = series
+        return series
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``.
+
+        ``buckets`` is honoured on first creation of the family; later
+        calls reuse the family's bounds.
+        """
+        bounds = tuple(buckets) if buckets is not None else None
+        family = self._family(name, "histogram", help, buckets=bounds)
+        if family.buckets is None:
+            family.buckets = bounds if bounds is not None else DEFAULT_BUCKETS
+        key = _label_key(labels)
+        series = family.series.get(key)
+        if series is None:
+            series = Histogram(name, key, bounds=family.buckets)
+            family.series[key] = series
+        return series
+
+    # -- export ------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        """JSON-native dump of every family and series."""
+        out: dict[str, Any] = {}
+        for name, family in sorted(self._families.items()):
+            series_payload = []
+            for key, series in sorted(family.series.items()):
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if family.kind == "histogram":
+                    entry.update(
+                        count=series.count,
+                        sum=series.sum,
+                        min=None if series.count == 0 else series.min,
+                        max=None if series.count == 0 else series.max,
+                        buckets=[
+                            [None if math.isinf(bound) else bound, cum]
+                            for bound, cum in series.cumulative_buckets()
+                        ],
+                    )
+                else:
+                    entry["value"] = series.value
+                series_payload.append(entry)
+            out[name] = {"type": family.kind, "help": family.help,
+                         "series": series_payload}
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name, family in sorted(self._families.items()):
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key, series in sorted(family.series.items()):
+                if family.kind == "histogram":
+                    for bound, cumulative in series.cumulative_buckets():
+                        labels = _format_labels(
+                            key, [("le", _format_value(bound))])
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    suffix = _format_labels(key)
+                    lines.append(
+                        f"{name}_sum{suffix} {_format_value(series.sum)}")
+                    lines.append(f"{name}_count{suffix} {series.count}")
+                else:
+                    lines.append(
+                        f"{name}{_format_labels(key)} "
+                        f"{_format_value(series.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def summary_lines(self) -> list[str]:
+        """Short human-readable lines (for CLI output)."""
+        lines: list[str] = []
+        for name, family in sorted(self._families.items()):
+            for key, series in sorted(family.series.items()):
+                labels = _format_labels(key)
+                if family.kind == "histogram":
+                    if series.count == 0:
+                        lines.append(f"{name}{labels}: no samples")
+                        continue
+                    lines.append(
+                        f"{name}{labels}: n={series.count} "
+                        f"mean={series.mean:.4g} "
+                        f"p50~{series.percentile(50):.4g} "
+                        f"p99~{series.percentile(99):.4g} "
+                        f"max={series.max:.4g}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{labels}: {_format_value(series.value)}")
+        return lines
+
+    def __len__(self) -> int:
+        return sum(len(f.series) for f in self._families.values())

@@ -119,6 +119,9 @@ class EmulatedKernelScopedStream:
             # queue mask through the IOCTL, then release B2.
             def reconfigure() -> None:
                 mask = self.allocator.allocate(launch, self.runtime.device)
+                tracer = self.runtime.sim.tracer
+                if tracer.enabled:
+                    tracer.mask_decision(launch, mask, self.runtime.device)
                 self.runtime.set_queue_cu_mask(
                     self.queue, mask, on_done=lambda: mask_set.fire(mask)
                 )
@@ -138,6 +141,10 @@ class EmulatedKernelScopedStream:
         kernel_packet = KernelDispatchPacket(
             launch=launch, barrier=False, completion_signal=completion
         )
+        tracer = self.runtime.sim.tracer
+        if tracer.enabled:
+            tracer.barrier_injected(self.name, "B1", descriptor.name)
+            tracer.barrier_injected(self.name, "B2", descriptor.name)
         self.queue.submit(b1)
         self.queue.submit(b2)
         self.queue.submit(kernel_packet)

@@ -109,6 +109,9 @@ class ExperimentResult:
     energy_joules: float
     energy_per_request: float
     gpu_utilization: float
+    #: High-water mark of simultaneously busy CUs over the whole run
+    #: (from the Resource Monitor's per-CU kernel counters).
+    peak_cu_occupancy: int = 0
 
     def worker_p95(self, index: int) -> float:
         """p95 service latency of one worker, in seconds."""
@@ -146,10 +149,23 @@ def _window_for(config: ExperimentConfig) -> tuple[float, float]:
     return warmup, warmup + measure
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one co-location cell and return its measurements."""
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    tracer=None,
+    metrics=None,
+    sample_interval: float = 250e-6,
+) -> ExperimentResult:
+    """Run one co-location cell and return its measurements.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the request/kernel/
+    mask-decision timeline; ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
+    receives periodic occupancy/load/queue-depth samples every
+    ``sample_interval`` simulated seconds.  Both default to off and add no
+    overhead when omitted.
+    """
     topology = GpuTopology.mi50()
-    sim = Simulator()
+    sim = Simulator(tracer=tracer)
     device = GpuDevice(sim, topology, exec_config=config.exec_config())
     rng = RngRegistry(config.seed).fork(
         f"{'-'.join(config.model_names)}/{config.policy}/{config.batch_size}"
@@ -163,8 +179,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     warmup, end = _window_for(config)
     workers: list[Worker] = []
+    queues: list[RequestQueue] = []
     for i, (plan, stream) in enumerate(zip(plans, streams)):
         queue = RequestQueue(sim, name=f"q{i}")
+        queues.append(queue)
         client = ClosedLoopClient(
             sim, queue, plan.model.name, plan.batch_size,
             concurrency=1, stop_time=end,
@@ -180,6 +198,12 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             stop_time=end,
             on_complete=client.on_request_complete,
         ))
+
+    if metrics is not None:
+        from repro.obs.sampler import SimSampler
+        sampler = SimSampler(sim, device, metrics, queues=queues,
+                             interval=sample_interval)
+        sampler.start(stop_time=end)
 
     energy_marks: dict[str, float] = {}
 
@@ -220,6 +244,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         energy_joules=energy,
         energy_per_request=energy / max(1, total_requests),
         gpu_utilization=device.meter.utilization(sim.now),
+        peak_cu_occupancy=device.counters.peak_busy_cus,
     )
 
 

@@ -51,11 +51,15 @@ class ClosedLoopClient:
     def _issue(self) -> None:
         if self.sim.now >= self.stop_time:
             return
-        self.queue.put(InferenceRequest(
+        request = InferenceRequest(
             model_name=self.model_name,
             batch_size=self.batch_size,
             arrival_time=self.sim.now,
-        ))
+        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.request_arrival(request)
+        self.queue.put(request)
         self.issued += 1
 
     def on_request_complete(self, _request: InferenceRequest) -> None:
@@ -94,9 +98,13 @@ class PoissonClient:
             yield gap
             if self.sim.now >= self.stop_time:
                 return
-            self.queue.put(InferenceRequest(
+            request = InferenceRequest(
                 model_name=self.model_name,
                 batch_size=self.batch_size,
                 arrival_time=self.sim.now,
-            ))
+            )
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.request_arrival(request)
+            self.queue.put(request)
             self.issued += 1

@@ -13,15 +13,19 @@ from typing import Sequence
 __all__ = ["percentile", "geomean", "LatencyStats", "BoxplotStats"]
 
 
-def percentile(samples: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile; ``pct`` in (0, 100]."""
-    if not samples:
+def _nearest_rank(ordered: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample set."""
+    if not ordered:
         raise ValueError("no samples")
     if not 0 < pct <= 100:
         raise ValueError(f"pct={pct} out of (0, 100]")
-    ordered = sorted(samples)
     rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
     return ordered[rank - 1]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; ``pct`` in (0, 100]."""
+    return _nearest_rank(sorted(samples), pct)
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -42,20 +46,23 @@ class LatencyStats:
     p50: float
     p95: float
     p99: float
+    p999: float
     maximum: float
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
-        """Build from raw latency samples in seconds."""
+        """Build from raw latency samples in seconds (sorts once)."""
         if not samples:
             raise ValueError("no latency samples")
+        ordered = sorted(samples)
         return cls(
-            count=len(samples),
-            mean=sum(samples) / len(samples),
-            p50=percentile(samples, 50),
-            p95=percentile(samples, 95),
-            p99=percentile(samples, 99),
-            maximum=max(samples),
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=_nearest_rank(ordered, 50),
+            p95=_nearest_rank(ordered, 95),
+            p99=_nearest_rank(ordered, 99),
+            p999=_nearest_rank(ordered, 99.9),
+            maximum=ordered[-1],
         )
 
 
@@ -71,13 +78,14 @@ class BoxplotStats:
 
     @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "BoxplotStats":
-        """Build from raw samples."""
+        """Build from raw samples (sorts once)."""
         if not samples:
             raise ValueError("no samples")
+        ordered = sorted(samples)
         return cls(
-            minimum=min(samples),
-            q1=percentile(samples, 25),
-            median=percentile(samples, 50),
-            q3=percentile(samples, 75),
-            maximum=max(samples),
+            minimum=ordered[0],
+            q1=_nearest_rank(ordered, 25),
+            median=_nearest_rank(ordered, 50),
+            q3=_nearest_rank(ordered, 75),
+            maximum=ordered[-1],
         )

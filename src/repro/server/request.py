@@ -65,6 +65,9 @@ class RequestQueue:
         """Enqueue a request, waking one blocked worker if any."""
         self._pending.append(request)
         self.enqueued += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.queue_depth(self.name, len(self._pending))
         if self._waiters:
             self._waiters.popleft().fire(None)
 
@@ -87,7 +90,11 @@ class RequestQueue:
         """Dequeue the oldest pending request."""
         if not self._pending:
             raise IndexError("pop from empty request queue")
-        return self._pending.popleft()
+        request = self._pending.popleft()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.queue_depth(self.name, len(self._pending))
+        return request
 
     def __len__(self) -> int:
         return len(self._pending)

@@ -110,6 +110,9 @@ class Worker:
                 break
             request = self.queue.pop()
             request.start_time = self.sim.now
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.request_dequeued(request, self.name)
             yield costs.draw(costs.pre_mean, self.rng)
             for burst, gap in self.segments:
                 for desc in burst:
@@ -119,6 +122,8 @@ class Worker:
                     yield gap
             yield costs.draw(costs.post_mean, self.rng)
             request.completion_time = self.sim.now
+            if tracer.enabled:
+                tracer.request_completed(request, self.name)
             self.stats.completed.append(request)
             self.stats.requests_processed += 1
             if self.on_complete is not None:

@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = ["Event", "Simulator", "SimulationError"]
 
 #: Multipliers for readable time literals.
@@ -60,13 +62,31 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: The observability sink instrumented components report into
+        #: (``sim.tracer``).  Defaults to the no-op null tracer, so an
+        #: untraced run pays one attribute read per hook site.
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer):
+        """Bind ``tracer`` to this simulator's clock and install it.
+
+        Every instrumented component reached from this simulator
+        (device, command processor, workers, queues) reports into
+        ``sim.tracer``; the tracer timestamps records with ``sim.now``.
+        Returns the tracer for chaining.
+        """
+        tracer.bind_clock(lambda: self._now)
+        self.tracer = tracer
+        return tracer
 
     @property
     def now(self) -> float:

@@ -33,6 +33,34 @@ def test_rate_command_exit_codes(capsys):
     assert saturated == 1
 
 
+def test_trace_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.prom"
+    assert main(["trace", "squeezenet", "-n", "2", "--scale", "0.1",
+                 "--out", str(out), "--metrics-out", str(metrics)]) == 0
+    printed = capsys.readouterr().out
+    assert "trace events" in printed
+    assert "mask decisions" in printed
+    assert "peak CU occupancy" in printed
+
+    trace = json.loads(out.read_text())
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events
+    assert all("ph" in e and "pid" in e for e in events)
+    phases = {e["ph"] for e in events}
+    # Spans, metadata, instants, counters, and flow arrows all present.
+    assert {"X", "M", "i", "C", "s", "f"} <= phases
+    procs = {e["args"]["name"] for e in events
+             if e.get("name") == "process_name"}
+    assert {"server", "gpu", "counters"} <= procs
+
+    prom = metrics.read_text()
+    assert "# TYPE krisp_cu_occupancy gauge" in prom
+    assert "krisp_samples_total" in prom
+
+
 def test_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["profile", "gpt4"])

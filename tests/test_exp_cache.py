@@ -51,7 +51,7 @@ FIELD_VARIANTS = {
 
 def _synthetic_result(config: ExperimentConfig) -> ExperimentResult:
     stats = LatencyStats(count=7, mean=0.010, p50=0.009, p95=0.013,
-                         p99=0.014, maximum=0.0145)
+                         p99=0.014, p999=0.0142, maximum=0.0145)
     workers = tuple(
         WorkerResult(model_name=name, requests_completed=7,
                      rps=100.0 + i, latency=stats)
@@ -61,6 +61,7 @@ def _synthetic_result(config: ExperimentConfig) -> ExperimentResult:
         config=config, workers=workers, window=0.5,
         total_rps=sum(w.rps for w in workers), energy_joules=12.5,
         energy_per_request=0.893, gpu_utilization=0.61,
+        peak_cu_occupancy=42,
     )
 
 

@@ -52,6 +52,34 @@ def test_counters_track_launch_and_retire():
     assert device.counters.busy_cus() == 0
 
 
+def test_counters_keep_high_water_marks():
+    counters = CUKernelCounters(TOPO)
+    a = CUMask.first_n(TOPO, 10)
+    b = CUMask.first_n(TOPO, 6)
+    counters.assign(a)
+    counters.assign(b)          # overlaps a on CUs 0-5
+    assert counters.busy_cus() == 10
+    assert counters.peak_busy_cus == 10
+    counters.release(a)
+    counters.release(b)
+    assert counters.busy_cus() == 0
+    # Peaks survive the drain back to idle.
+    assert counters.peak_busy_cus == 10
+    peaks = counters.peak_counts()
+    assert peaks[:6] == [2] * 6
+    assert peaks[6:10] == [1] * 4
+    assert all(p == 0 for p in peaks[10:])
+
+
+def test_experiment_result_surfaces_peak_occupancy():
+    from repro.server.experiment import ExperimentConfig, run_experiment
+    result = run_experiment(ExperimentConfig(
+        model_names=("squeezenet",), policy="mps-default",
+        requests_scale=0.1,
+    ))
+    assert 0 < result.peak_cu_occupancy <= TOPO.total_cus
+
+
 def test_two_kernels_disjoint_masks_do_not_interfere():
     sim = Simulator()
     device = make_device(sim)

@@ -1,0 +1,197 @@
+"""Tests for the metrics registry, exports, and the sim-time sampler."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+
+
+# -- primitives --------------------------------------------------------------
+
+def test_counter_only_goes_up():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "help text")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(5)
+    gauge.inc(-2)
+    assert gauge.value == 3.0
+
+
+def test_histogram_streams_into_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=[1.0, 2.0, 4.0])
+    for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(106.0)
+    assert hist.min == 0.5 and hist.max == 100.0
+    # Inclusive upper bounds + one overflow bucket.
+    assert hist.bucket_counts == [2, 1, 1, 1]
+    assert hist.cumulative_buckets() == [
+        (1.0, 2), (2.0, 3), (4.0, 4), (math.inf, 5)]
+    assert hist.mean == pytest.approx(21.2)
+
+
+def test_histogram_percentile_estimates():
+    hist = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0, 8.0])
+    for value in [0.5] * 50 + [3.0] * 49 + [5.0]:
+        hist.observe(value)
+    assert hist.percentile(50) == 1.0       # bucket upper bound
+    assert hist.percentile(99) == 4.0
+    assert hist.percentile(100) == 5.0      # capped at observed max
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("empty").percentile(50)
+
+
+def test_bucket_helpers():
+    assert exponential_buckets(1.0, 2.0, 3) == (1.0, 2.0, 4.0)
+    assert linear_buckets(1.0, 0.5, 3) == (1.0, 1.5, 2.0)
+    with pytest.raises(ValueError):
+        exponential_buckets(0.0, 2.0, 3)
+    with pytest.raises(ValueError):
+        linear_buckets(1.0, 0.0, 3)
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_get_or_create_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("hits", model="resnet")
+    b = registry.counter("hits", model="resnet")
+    c = registry.counter("hits", model="vgg")
+    assert a is b and a is not c
+    assert len(registry) == 2
+
+
+def test_registry_rejects_kind_mismatch_and_bad_names():
+    registry = MetricsRegistry()
+    registry.counter("x_total")
+    with pytest.raises(ValueError):
+        registry.gauge("x_total")
+    with pytest.raises(ValueError):
+        registry.counter("bad name")
+    with pytest.raises(ValueError):
+        registry.counter("ok", **{"bad-label": "v"})
+
+
+def test_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("req_total", "requests served", model="a").inc(3)
+    registry.gauge("depth", "queue depth").set(2)
+    hist = registry.histogram("lat_seconds", "latency", buckets=[0.1, 1.0])
+    hist.observe(0.05)
+    hist.observe(5.0)
+    text = registry.to_prometheus()
+    assert "# HELP req_total requests served" in text
+    assert "# TYPE req_total counter" in text
+    assert 'req_total{model="a"} 3' in text
+    assert "depth 2" in text
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+    assert "lat_seconds_sum 5.05" in text
+    assert "lat_seconds_count 2" in text
+    assert text.endswith("\n")
+
+
+def test_json_export():
+    registry = MetricsRegistry()
+    registry.gauge("g").set(1.5)
+    hist = registry.histogram("h", buckets=[1.0])
+    hist.observe(0.5)
+    payload = registry.to_json()
+    assert payload["g"]["type"] == "gauge"
+    assert payload["g"]["series"][0]["value"] == 1.5
+    series = payload["h"]["series"][0]
+    assert series["count"] == 1
+    assert series["buckets"] == [[1.0, 1], [None, 1]]  # None encodes +Inf
+
+
+# -- sim-time sampler --------------------------------------------------------
+
+def test_sampler_snapshots_device_state():
+    from repro.gpu.cu_mask import CUMask
+    from repro.gpu.device import GpuDevice
+    from repro.gpu.kernel import KernelDescriptor, KernelLaunch
+    from repro.gpu.topology import GpuTopology
+    from repro.obs.sampler import SimSampler
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    topo = GpuTopology.mi50()
+    device = GpuDevice(sim, topo)
+    registry = MetricsRegistry()
+    # Power-of-two interval: tick times accumulate exactly in floats, so
+    # the tick count is deterministic (0, 1, 2, 3, 4 x interval).
+    interval = 1.0 / 4096
+    sampler = SimSampler(sim, device, registry, interval=interval)
+    sampler.start(stop_time=4 * interval)
+
+    desc = KernelDescriptor(name="k", workgroups=60, occupancy=1,
+                            wg_duration=5e-4)
+    device.launch(KernelLaunch(desc), CUMask.first_n(topo, 30))
+    sim.run()
+
+    assert registry.counter("krisp_samples_total").value == 5
+    hist = registry.histogram("krisp_cu_occupancy_hist")
+    assert hist.count == 5
+    assert hist.max == 30        # saw the kernel resident on 30 CUs
+    assert registry.histogram("krisp_mem_bw_pressure_hist").count == 5
+    # The kernel (2 waves x 0.5 ms) outlives the sampling window, so the
+    # final snapshot still shows it resident.
+    assert registry.gauge("krisp_cu_occupancy").value == 30
+    # One kernel resident on all 15 CUs of SE 0 (per-CU counts summed).
+    assert registry.gauge("krisp_se_load", se="0").value == 15
+    assert registry.gauge("krisp_se_load", se="2").value == 0
+
+
+def test_sampling_does_not_change_results():
+    from repro.server.experiment import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(("squeezenet",), batch_size=4,
+                              requests_scale=0.1)
+    plain = run_experiment(config)
+    registry = MetricsRegistry()
+    sampled = run_experiment(config, metrics=registry)
+    assert sampled.workers == plain.workers
+    assert sampled.energy_joules == plain.energy_joules
+    assert registry.counter("krisp_samples_total").value > 0
+    assert registry.gauge("krisp_queue_depth", queue="q0") is not None
+
+
+# -- sweep integration -------------------------------------------------------
+
+def test_run_sweep_records_cache_metrics(tmp_path, monkeypatch):
+    from repro.exp.sweep import run_sweep
+    from repro.server.experiment import ExperimentConfig
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cells = [ExperimentConfig(("squeezenet",), batch_size=4,
+                              requests_scale=0.1)]
+
+    cold = MetricsRegistry()
+    report = run_sweep(cells, jobs=1, metrics=cold)
+    assert report.ok and report.ran == 1
+    assert cold.counter("sweep_cache_hits_total").value == 0
+    assert cold.counter("sweep_cache_misses_total").value == 1
+    assert cold.gauge("sweep_last_cell_seconds").value > 0
+    assert cold.histogram("sweep_cell_seconds").count == 1
+
+    warm = MetricsRegistry()
+    report = run_sweep(cells, jobs=1, metrics=warm)
+    assert report.cached == 1
+    assert warm.counter("sweep_cache_hits_total").value == 1
+    assert warm.counter("sweep_cache_misses_total").value == 0
+    assert warm.histogram("sweep_cell_seconds").count == 0

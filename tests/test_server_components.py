@@ -55,6 +55,17 @@ def test_latency_stats():
         LatencyStats.from_samples([])
 
 
+def test_latency_stats_p999():
+    samples = [float(i) for i in range(10_000)]
+    stats = LatencyStats.from_samples(samples)
+    assert stats.p99 == 9899.0
+    assert stats.p95 < stats.p99 <= stats.p999 <= stats.maximum
+    # from_samples and the standalone helper agree on the same rank.
+    assert stats.p999 == percentile(samples, 99.9)
+    # Small sample sets degrade to the max, never crash.
+    assert LatencyStats.from_samples([1.0, 2.0]).p999 == 2.0
+
+
 def test_boxplot_stats():
     stats = BoxplotStats.from_samples(list(map(float, range(1, 101))))
     assert stats.minimum == 1.0
