@@ -13,6 +13,8 @@ be explored without writing code:
   worker counts) fanned out over a process pool with result caching.
 * ``trace MODEL [MODEL...]`` — run one cell with full tracing and write
   a Perfetto-loadable Chrome trace plus a metrics summary.
+* ``chaos MODEL [MODEL...]`` — a policy × fault-scenario resilience grid
+  with SLO guard rails, reporting goodput and p95 deltas vs fault-free.
 """
 
 from __future__ import annotations
@@ -204,6 +206,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.exp.chaos import CHAOS_SCENARIOS, build_scenario, run_chaos
+
+    names = tuple(args.models) * args.workers if len(args.models) == 1 \
+        else tuple(args.models)
+    scenarios = tuple(args.scenarios) if args.scenarios \
+        else CHAOS_SCENARIOS
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"\r[{done}/{total}] {label:<40}", end="", file=sys.stderr,
+              flush=True)
+
+    report = run_chaos(
+        names, tuple(args.policies), scenarios,
+        batch_size=args.batch, seed=args.seed,
+        requests_scale=args.scale, emulated=args.emulated,
+        use_cache=not args.no_cache, progress=progress,
+    )
+    print(file=sys.stderr)
+    print(report.to_text())
+    guard = report.guard
+    print(f"\nguard: admission depth {guard.admission_depth}, deadline "
+          f"{guard.deadline * 1e3:.1f} ms, {guard.max_retries} retries")
+
+    if args.json_out:
+        import json
+        from pathlib import Path
+        Path(args.json_out).write_text(
+            json.dumps(report.to_rows(), indent=2, sort_keys=True))
+        print(f"wrote {len(report.cells)} cells to {args.json_out}")
+
+    if args.trace_out:
+        from repro.obs.tracer import Tracer
+
+        policy = args.policies[0]
+        scenario = scenarios[-1]
+        config = ExperimentConfig(
+            model_names=names, policy=policy, batch_size=args.batch,
+            seed=args.seed, emulated=args.emulated,
+            requests_scale=args.scale)
+        tracer = Tracer()
+        run_experiment(config, tracer=tracer,
+                       faults=build_scenario(scenario, config),
+                       guard=report.guard)
+        events = tracer.write_chrome_trace(args.trace_out)
+        print(f"wrote {events} trace events for {policy}/{scenario} to "
+              f"{args.trace_out} ({tracer.faults_traced} faults, "
+              f"{tracer.requests_shed} shed)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``krisp-repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -285,6 +338,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample-interval", type=float, default=250e-6,
                        help="sim-time metrics sampling period in seconds")
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="policy x fault-scenario resilience grid")
+    chaos.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
+    chaos.add_argument("--workers", "-n", type=int, default=2,
+                       help="replicas when a single model is given")
+    chaos.add_argument("--policies", "-p", nargs="+", choices=POLICY_NAMES,
+                       default=["krisp-i", "mps-default"])
+    chaos.add_argument("--scenarios", "-s", nargs="+",
+                       choices=["crash", "straggler", "bandwidth", "storm",
+                                "dropout", "mixed"],
+                       default=None,
+                       help="fault scenarios (default: all)")
+    chaos.add_argument("--batch", type=int, default=32)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scale", type=float, default=1.0,
+                       help="measurement-window scale (requests_scale)")
+    chaos.add_argument("--emulated", action="store_true",
+                       help="route launches through the barrier-packet "
+                            "emulation path")
+    chaos.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache entirely")
+    chaos.add_argument("--json-out", default=None,
+                       help="write the grid as JSON rows here")
+    chaos.add_argument("--trace-out", default=None,
+                       help="re-run one fault-injected cell under the "
+                            "tracer and write a Chrome trace here")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -56,17 +56,33 @@ class KrispAllocator:
         self.generator = generator
         self.allocations = 0
         self.short_allocations = 0
+        #: Launches served through the degraded fallback mask because
+        #: Algorithm 1 raised instead of producing a mask.
+        self.degraded = 0
 
     def allocate(self, launch: KernelLaunch, device: GpuDevice) -> CUMask:
         """Generate this kernel's resource mask from the live counters.
 
         A launch without sizing information receives the full device —
-        the safe default for unprofiled kernels.
+        the safe default for unprofiled kernels.  If mask generation
+        itself fails, the kernel is served on the full device instead of
+        killing the serving path (graceful degradation; counted in
+        ``degraded`` and visible as a ``mask-fallback`` trace instant).
         """
         requested = launch.requested_cus
         if requested is None:
             requested = device.topology.total_cus
-        mask = self.generator.generate(requested, device.counters)
+        try:
+            mask = self.generator.generate(requested, device.counters)
+        except Exception:
+            self.degraded += 1
+            mask = CUMask.all_cus(device.topology)
+            tracer = device.sim.tracer
+            if tracer.enabled:
+                tracer.fault_injected("mask-fallback", {
+                    "kernel": launch.descriptor.name,
+                    "requested_cus": requested,
+                })
         self.allocations += 1
         if mask.count() < min(requested, device.topology.total_cus):
             self.short_allocations += 1
@@ -102,7 +118,10 @@ class KrispSystem:
         self.runtime = HsaRuntime(sim, device, allocator=self.allocator)
 
     def create_stream(
-        self, name: str = "", emulated: bool = False
+        self,
+        name: str = "",
+        emulated: bool = False,
+        fallback_cus: Optional[int] = None,
     ) -> Union[Stream, EmulatedKernelScopedStream]:
         """Create a KRISP-enabled stream.
 
@@ -111,13 +130,26 @@ class KrispSystem:
         processor generates masks in firmware.  ``emulated=True`` models
         the paper's evaluation platform: barrier packets plus IOCTL mask
         reconfiguration around every kernel.
+
+        ``fallback_cus`` gives the stream its own right-sizer whose
+        missing-entry answer is that partition size (typically the
+        stream's model-wise right-size) instead of the full device —
+        graceful degradation under a partial perf-DB.
         """
+        sizer = self.rightsizer
+        if fallback_cus is not None:
+            sizer = KernelRightSizer(
+                self.database,
+                self.device.topology,
+                margin_cus=self.config.margin_cus,
+                fallback_cus=fallback_cus,
+            )
         if emulated:
             return EmulatedKernelScopedStream(
                 self.runtime,
                 allocator=self.allocator,
-                sizer=self.rightsizer,
+                sizer=sizer,
                 config=self.emulation_config,
                 name=name,
             )
-        return Stream(self.runtime, name=name, rightsizer=self.rightsizer)
+        return Stream(self.runtime, name=name, rightsizer=sizer)

@@ -9,6 +9,7 @@ serialises to JSON so profiling is amortised across runs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -101,3 +102,27 @@ class PerfDatabase:
     def merge(self, other: "PerfDatabase") -> None:
         """Adopt every entry of ``other`` (other wins on conflicts)."""
         self._min_cus.update(other._min_cus)
+
+    def drop_fraction(self, fraction: float, seed: int = 0) -> int:
+        """Remove a deterministic ``fraction`` of entries; returns how many.
+
+        The victims are chosen by hashing each encoded key with ``seed``
+        (no RNG state, no insertion-order dependence), so the same
+        (contents, fraction, seed) always drops the same entries — the
+        fault injector's perf-DB dropout stays bit-reproducible across
+        serial, pooled, and cached runs.  At least one entry is dropped
+        for any ``fraction > 0`` on a non-empty database.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if fraction == 0.0 or not self._min_cus:
+            return 0
+        ranked = sorted(
+            self._min_cus,
+            key=lambda key: hashlib.sha256(
+                f"{seed}:{key.encode()}".encode()).hexdigest(),
+        )
+        count = max(1, int(round(fraction * len(ranked))))
+        for key in ranked[:count]:
+            del self._min_cus[key]
+        return count

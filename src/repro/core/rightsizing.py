@@ -27,21 +27,35 @@ class KernelRightSizer:
         database: PerfDatabase,
         topology: GpuTopology,
         margin_cus: int = 0,
+        fallback_cus: Optional[int] = None,
     ) -> None:
         """``margin_cus`` optionally pads every right-size by a safety
         margin (an ablation knob; the paper uses the raw profiled minimum).
+
+        ``fallback_cus`` is the degraded answer for a kernel missing from
+        the database — typically the *model-wise* right-size, so a partial
+        perf-DB degrades to per-model partitioning instead of grabbing the
+        whole device.  ``None`` keeps the historical full-device fallback.
         """
         if margin_cus < 0:
             raise ValueError("margin_cus must be >= 0")
+        if fallback_cus is not None and fallback_cus < 1:
+            raise ValueError("fallback_cus must be >= 1 (or None)")
         self.database = database
         self.topology = topology
         self.margin_cus = margin_cus
+        self.fallback_cus = fallback_cus
         self.unprofiled: set[str] = set()
+        #: Launches answered through the fallback path (missing DB entry).
+        self.degraded = 0
 
     def __call__(self, desc: KernelDescriptor) -> Optional[int]:
         """Requested CU count for ``desc`` (the Stream right-sizer hook)."""
         min_cus = self.database.lookup(desc)
         if min_cus is None:
             self.unprofiled.add(desc.name)
+            self.degraded += 1
+            if self.fallback_cus is not None:
+                return min(self.topology.total_cus, self.fallback_cus)
             return self.topology.total_cus
         return min(self.topology.total_cus, min_cus + self.margin_cus)

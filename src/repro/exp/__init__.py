@@ -11,7 +11,9 @@ This package exploits that shape twice over:
   timing-model constants, or the repro version changes;
 * :mod:`repro.exp.sweep` — a grid builder plus :func:`run_sweep`, which
   fans independent cells out over a process pool with per-cell
-  retry-on-failure and a structured report.
+  retry-on-failure and a structured report;
+* :mod:`repro.exp.chaos` — policy × fault-scenario resilience grids
+  scored against each policy's fault-free baseline.
 """
 
 from repro.exp.cache import (
@@ -22,6 +24,13 @@ from repro.exp.cache import (
     cached_run_experiment,
     default_cache,
     fingerprint,
+)
+from repro.exp.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosCell,
+    ChaosReport,
+    build_scenario,
+    run_chaos,
 )
 from repro.exp.sweep import (
     CellFailure,
@@ -39,6 +48,11 @@ __all__ = [
     "cached_run_experiment",
     "default_cache",
     "fingerprint",
+    "CHAOS_SCENARIOS",
+    "ChaosCell",
+    "ChaosReport",
+    "build_scenario",
+    "run_chaos",
     "CellFailure",
     "Sweep",
     "SweepReport",

@@ -39,6 +39,7 @@ from repro.server.experiment import (
     run_experiment,
 )
 from repro.server.metrics import LatencyStats
+from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = [
     "CacheStats",
@@ -98,12 +99,24 @@ def config_from_dict(payload: dict[str, Any]) -> ExperimentConfig:
 
 
 def cache_key(config: ExperimentConfig,
-              constants: Optional[dict[str, Any]] = None) -> str:
-    """Stable content hash of (config, code constants, repro version)."""
+              constants: Optional[dict[str, Any]] = None,
+              faults=None,
+              guard: Optional[SloGuard] = None) -> str:
+    """Stable content hash of (config, code constants, repro version).
+
+    ``faults`` (a :class:`~repro.faults.FaultSchedule`) and ``guard``
+    (a :class:`~repro.server.slo.SloGuard`) are folded in **only when
+    given**, so every pre-existing fault-free key — and every cached
+    result under it — is untouched by the fault layer.
+    """
     payload = {
         "config": config_to_dict(config),
         "constants": constants if constants is not None else fingerprint(),
     }
+    if faults is not None:
+        payload["faults"] = faults.to_dict()
+    if guard is not None:
+        payload["guard"] = guard.to_dict()
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -114,9 +127,11 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """JSON-friendly form of one experiment result.
 
     Floats survive a JSON round-trip bit-exactly (``repr`` round-trip),
-    so a cache hit reproduces the live result field-for-field.
+    so a cache hit reproduces the live result field-for-field.  The
+    ``resilience`` block appears only on guarded/fault-injected results,
+    keeping every fault-free payload byte-identical to schema 2.
     """
-    return {
+    payload = {
         "config": config_to_dict(result.config),
         "workers": [
             {
@@ -134,6 +149,9 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "gpu_utilization": result.gpu_utilization,
         "peak_cu_occupancy": result.peak_cu_occupancy,
     }
+    if result.resilience is not None:
+        payload["resilience"] = result.resilience.to_dict()
+    return payload
 
 
 def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
@@ -155,6 +173,8 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
         energy_per_request=payload["energy_per_request"],
         gpu_utilization=payload["gpu_utilization"],
         peak_cu_occupancy=payload.get("peak_cu_occupancy", 0),
+        resilience=(ResilienceStats.from_dict(payload["resilience"])
+                    if "resilience" in payload else None),
     )
 
 
@@ -238,13 +258,16 @@ class ResultCache:
     def root(self) -> Path:
         return self._root if self._root is not None else cache_root()
 
-    def path_for(self, config: ExperimentConfig) -> Path:
+    def path_for(self, config: ExperimentConfig, faults=None,
+                 guard: Optional[SloGuard] = None) -> Path:
         """On-disk location of one cell's cached result."""
-        return self.root() / "results" / f"{cache_key(config)}.json"
+        key = cache_key(config, faults=faults, guard=guard)
+        return self.root() / "results" / f"{key}.json"
 
-    def get(self, config: ExperimentConfig) -> Optional[ExperimentResult]:
+    def get(self, config: ExperimentConfig, faults=None,
+            guard: Optional[SloGuard] = None) -> Optional[ExperimentResult]:
         """Cached result for ``config``, or ``None`` on any kind of miss."""
-        path = self.path_for(config)
+        path = self.path_for(config, faults=faults, guard=guard)
         try:
             raw = path.read_text()
         except FileNotFoundError:
@@ -273,14 +296,19 @@ class ResultCache:
         self.stats.hits += 1
         return result
 
-    def put(self, config: ExperimentConfig, result: ExperimentResult) -> None:
+    def put(self, config: ExperimentConfig, result: ExperimentResult,
+            faults=None, guard: Optional[SloGuard] = None) -> None:
         """Best-effort store of one cell's result."""
-        path = self.path_for(config)
+        path = self.path_for(config, faults=faults, guard=guard)
         payload = {
             "constants": fingerprint(),
             "config": config_to_dict(config),
             "result": result_to_dict(result),
         }
+        if faults is not None:
+            payload["faults"] = faults.to_dict()
+        if guard is not None:
+            payload["guard"] = guard.to_dict()
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -298,12 +326,19 @@ def default_cache() -> ResultCache:
 
 
 def cached_run_experiment(
-    config: ExperimentConfig, cache: Optional[ResultCache] = None
+    config: ExperimentConfig,
+    cache: Optional[ResultCache] = None,
+    faults=None,
+    guard: Optional[SloGuard] = None,
 ) -> ExperimentResult:
-    """:func:`~repro.server.experiment.run_experiment` through the cache."""
+    """:func:`~repro.server.experiment.run_experiment` through the cache.
+
+    ``faults``/``guard`` select the fault-injected variant of the cell;
+    its key (and file) is disjoint from the fault-free one.
+    """
     store = cache if cache is not None else default_cache()
-    result = store.get(config)
+    result = store.get(config, faults=faults, guard=guard)
     if result is None:
-        result = run_experiment(config)
-        store.put(config, result)
+        result = run_experiment(config, faults=faults, guard=guard)
+        store.put(config, result, faults=faults, guard=guard)
     return result

@@ -197,12 +197,12 @@ class SweepReport:
         )
 
 
-def _run_cell(config: ExperimentConfig):
+def _run_cell(config: ExperimentConfig, faults=None, guard=None):
     """Pool worker: run one cell, trapping the exception *in the child*
     so only plain strings cross the process boundary."""
     start = time.perf_counter()
     try:
-        result = run_experiment(config)
+        result = run_experiment(config, faults=faults, guard=guard)
         return result, time.perf_counter() - start, None, None
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return (None, time.perf_counter() - start,
@@ -217,6 +217,8 @@ def run_sweep(
     retries: int = 1,
     progress: Optional[ProgressFn] = None,
     metrics=None,
+    faults=None,
+    guard=None,
 ) -> SweepReport:
     """Run every cell of ``sweep``; never raises for individual cells.
 
@@ -224,6 +226,12 @@ def run_sweep(
     ``jobs=1`` runs serially in-process.  ``cache=False`` bypasses the
     result store entirely (no reads, no writes).  Each failing cell is
     retried ``retries`` more times before landing in ``report.failed``.
+
+    ``faults`` (a :class:`~repro.faults.FaultSchedule`) and ``guard``
+    (a :class:`~repro.server.slo.SloGuard`) apply to **every** cell; the
+    cache keys them separately from fault-free cells, and schedules
+    pickle cleanly across the process pool, so fault-injected sweeps are
+    exactly as parallel and cacheable as fault-free ones.
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives live
     ``sweep_cache_hits_total`` / ``sweep_cache_misses_total`` counters, a
@@ -269,7 +277,7 @@ def run_sweep(
 
     if store is not None:
         for config in cells:
-            hit = store.get(config)
+            hit = store.get(config, faults=faults, guard=guard)
             if hit is not None:
                 results[config] = hit
                 cached += 1
@@ -297,7 +305,7 @@ def run_sweep(
         if result is not None:
             results[config] = result
             if store is not None:
-                store.put(config, result)
+                store.put(config, result, faults=faults, guard=guard)
             tick(config)
         else:
             last_error[config] = (error, tb)
@@ -309,10 +317,11 @@ def run_sweep(
             break
         if workers == 1:
             for config in pending:
-                record(config, _run_cell(config))
+                record(config, _run_cell(config, faults, guard))
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_run_cell, c): c for c in pending}
+                futures = {pool.submit(_run_cell, c, faults, guard): c
+                           for c in pending}
                 remaining = set(futures)
                 while remaining:
                     finished, remaining = wait(

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the serving stack.
+
+KRISP's pitch is that kernel-scoped partitions recover from change in
+microseconds rather than epoch-long reloads (paper Fig. 2, Section III)
+— a claim that can only be demonstrated by *injecting* the change.  This
+package provides the change: a seeded, fully deterministic
+:class:`~repro.faults.schedule.FaultSchedule` of worker crashes (with
+:class:`~repro.faults.schedule.ReloadCostModel` restart costs), kernel
+straggler windows, memory-bandwidth pressure spikes, request-burst
+storms, and perf-DB dropout, plus the
+:class:`~repro.faults.injector.FaultInjector` that drives a schedule off
+the sim clock into a live experiment cell.
+
+Faults compose with the SLO guard rails of :mod:`repro.server.slo`
+(admission control, deadline shedding, bounded retry) and every injected
+event is observable through the tracer and metrics registry of
+:mod:`repro.obs`.
+Schedules serialise to JSON-native dicts so they participate in the
+content-addressed result-cache key: a fault-injected cell is exactly as
+cacheable and as reproducible as a fault-free one.
+"""
+
+from repro.faults.schedule import (
+    BandwidthSpike,
+    FaultEvent,
+    FaultSchedule,
+    KernelStraggler,
+    PerfDbDropout,
+    ReloadCostModel,
+    RequestStorm,
+    WorkerCrash,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "BandwidthSpike",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "KernelStraggler",
+    "PerfDbDropout",
+    "ReloadCostModel",
+    "RequestStorm",
+    "WorkerCrash",
+]

@@ -1,0 +1,295 @@
+"""Fault schedules: typed, frozen, seed-deterministic fault timelines.
+
+A :class:`FaultSchedule` is an ordered tuple of frozen fault events with
+absolute simulated times.  Schedules are *data*: they hash, they pickle
+across the sweep process pool, and they serialise to JSON-native dicts
+(:meth:`FaultSchedule.to_dict`) so the content-addressed result cache can
+fold them into its key — a fault-injected cell is exactly as cacheable as
+a fault-free one.
+
+Event kinds:
+
+* :class:`WorkerCrash` — a worker dies at ``time``; its in-flight request
+  is re-queued (bounded retry, see :mod:`repro.server.slo`) and the
+  worker restarts after the :class:`ReloadCostModel` reload cost unless
+  ``restart=False``.
+* :class:`KernelStraggler` — kernels run ``multiplier`` times slower in
+  ``[start, start + duration)``; ``tag`` limits the slowdown to one
+  worker's stream.
+* :class:`BandwidthSpike` — an external agent (another tenant, a
+  migration) consumes ``demand`` budget-units of memory bandwidth for
+  ``duration`` seconds, throttling resident memory-bound kernels.
+* :class:`RequestStorm` — ``count`` one-shot requests per queue injected
+  uniformly over ``[start, start + duration)``, on top of the configured
+  load (the burst the admission controller exists for).
+* :class:`PerfDbDropout` — at ``time``, a deterministic ``fraction`` of
+  every serving perf-DB's entries vanish (chosen by the schedule's
+  ``seed``), forcing the right-sizer onto its degraded fallback path.
+
+:meth:`FaultSchedule.generate` samples a randomized-but-deterministic
+schedule from a seed; hand-built schedules compose the event dataclasses
+directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "BandwidthSpike",
+    "FaultEvent",
+    "FaultSchedule",
+    "KernelStraggler",
+    "PerfDbDropout",
+    "ReloadCostModel",
+    "RequestStorm",
+    "WorkerCrash",
+]
+
+
+@dataclass(frozen=True)
+class ReloadCostModel:
+    """Restart cost of a crashed worker.
+
+    A restarted worker must re-initialise its framework context and
+    reload model state before serving again — the (scaled-down) analogue
+    of the multi-second reloads of Table II.  The cost grows with model
+    size via the kernel count.
+    """
+
+    base: float = 20e-3
+    per_kernel: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.per_kernel < 0:
+            raise ValueError("reload costs must be >= 0")
+
+    def reload_time(self, kernel_count: int) -> float:
+        """Seconds between crash and the worker serving again."""
+        return self.base + self.per_kernel * kernel_count
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Worker ``worker`` crashes at ``time`` (restarts unless told not to)."""
+
+    time: float
+    worker: int
+    restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.worker < 0:
+            raise ValueError("worker index must be >= 0")
+
+
+@dataclass(frozen=True)
+class KernelStraggler:
+    """Kernels run ``multiplier``x slower during the window.
+
+    ``tag=None`` slows the whole device; a worker name limits the
+    straggling to that worker's kernels.
+    """
+
+    start: float
+    duration: float
+    multiplier: float = 4.0
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+        if self.multiplier <= 1.0:
+            raise ValueError("straggler multiplier must be > 1")
+
+
+@dataclass(frozen=True)
+class BandwidthSpike:
+    """External memory-bandwidth pressure of ``demand`` budget units."""
+
+    start: float
+    duration: float
+    demand: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+        if self.demand <= 0:
+            raise ValueError("spike demand must be > 0")
+
+
+@dataclass(frozen=True)
+class RequestStorm:
+    """``count`` extra one-shot requests per queue over the window."""
+
+    start: float
+    duration: float
+    count: int = 32
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("need start >= 0 and duration > 0")
+        if self.count < 1:
+            raise ValueError("storm count must be >= 1")
+
+
+@dataclass(frozen=True)
+class PerfDbDropout:
+    """A ``fraction`` of perf-DB entries vanish at ``time``."""
+
+    time: float
+    fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("dropout time must be >= 0")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+FaultEvent = Union[
+    WorkerCrash, KernelStraggler, BandwidthSpike, RequestStorm, PerfDbDropout
+]
+
+#: Stable kind tags for (de)serialisation, in a fixed registry order.
+_EVENT_KINDS: dict[str, type] = {
+    "worker_crash": WorkerCrash,
+    "kernel_straggler": KernelStraggler,
+    "bandwidth_spike": BandwidthSpike,
+    "request_storm": RequestStorm,
+    "perfdb_dropout": PerfDbDropout,
+}
+_KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
+
+
+def event_kind(event: FaultEvent) -> str:
+    """Stable kind tag of one event (``worker_crash``, ...)."""
+    return _KIND_OF[type(event)]
+
+
+def event_time(event: FaultEvent) -> float:
+    """Injection time of one event on the sim clock."""
+    return event.start if hasattr(event, "start") else event.time
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, hashable timeline of fault events.
+
+    ``seed`` drives every stochastic choice *inside* injection (which
+    perf-DB entries drop); the event times themselves are plain data.
+    ``reload`` prices worker restarts.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    reload: ReloadCostModel = ReloadCostModel()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if type(event) not in _KIND_OF:
+                raise TypeError(f"unknown fault event {event!r}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sorted_events(self) -> tuple[FaultEvent, ...]:
+        """Events ordered by injection time (stable on ties)."""
+        return tuple(sorted(self.events, key=event_time))
+
+    # -- serialisation (cache keys, cross-process transport) ---------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form; stable enough to fold into cache keys."""
+        return {
+            "seed": self.seed,
+            "reload": dataclasses.asdict(self.reload),
+            "events": [
+                {"kind": event_kind(e), **dataclasses.asdict(e)}
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultSchedule":
+        """Inverse of :meth:`to_dict`."""
+        events = []
+        for entry in payload.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            try:
+                event_cls = _EVENT_KINDS[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault event kind {kind!r}") \
+                    from None
+            events.append(event_cls(**entry))
+        reload_payload = payload.get("reload")
+        reload = ReloadCostModel(**reload_payload) if reload_payload \
+            else ReloadCostModel()
+        return cls(events=tuple(events), seed=int(payload.get("seed", 0)),
+                   reload=reload)
+
+    # -- generation --------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        start: float,
+        end: float,
+        workers: int = 1,
+        crashes: int = 1,
+        stragglers: int = 1,
+        spikes: int = 1,
+        storms: int = 0,
+        dropout_fraction: float = 0.0,
+        reload: Optional[ReloadCostModel] = None,
+    ) -> "FaultSchedule":
+        """Sample a randomized schedule inside ``[start, end)``.
+
+        Deterministic: the same arguments always produce the same
+        schedule (the RNG seed is a SHA-256 of ``seed``, never Python's
+        process-randomised ``hash``).
+        """
+        if end <= start:
+            raise ValueError("need end > start")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        digest = hashlib.sha256(f"faults:{seed}".encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        span = end - start
+        events: list[FaultEvent] = []
+        for _ in range(crashes):
+            events.append(WorkerCrash(
+                time=start + float(rng.uniform(0.1, 0.6)) * span,
+                worker=int(rng.integers(0, workers)),
+            ))
+        for _ in range(stragglers):
+            events.append(KernelStraggler(
+                start=start + float(rng.uniform(0.0, 0.5)) * span,
+                duration=float(rng.uniform(0.1, 0.3)) * span,
+                multiplier=float(rng.uniform(2.0, 6.0)),
+            ))
+        for _ in range(spikes):
+            events.append(BandwidthSpike(
+                start=start + float(rng.uniform(0.0, 0.7)) * span,
+                duration=float(rng.uniform(0.1, 0.3)) * span,
+                demand=float(rng.uniform(0.5, 2.0)),
+            ))
+        for _ in range(storms):
+            events.append(RequestStorm(
+                start=start + float(rng.uniform(0.0, 0.6)) * span,
+                duration=float(rng.uniform(0.05, 0.2)) * span,
+                count=int(rng.integers(16, 64)),
+            ))
+        if dropout_fraction > 0.0:
+            events.append(PerfDbDropout(
+                time=start + float(rng.uniform(0.0, 0.4)) * span,
+                fraction=dropout_fraction,
+            ))
+        return cls(events=tuple(events), seed=seed,
+                   reload=reload or ReloadCostModel())

@@ -95,6 +95,14 @@ class GpuDevice:
         self._running: dict[int, KernelRecord] = {}
         self._residents = self.counters.counts_view()
         self._total_demand = 0.0
+        # Fault-injection state (repro.faults): a global straggler
+        # multiplier, per-stream-tag multipliers, and external bandwidth
+        # pressure.  All default to the no-fault identity; the hot path
+        # guards on those identities so a fault-free run computes the
+        # exact same float sequence as before the fault layer existed.
+        self._fault_scale = 1.0
+        self._fault_tag_scale: dict[str, float] = {}
+        self._fault_demand = 0.0
 
     # -- public API -------------------------------------------------------
     def launch(
@@ -158,6 +166,41 @@ class GpuDevice:
         self._advance_progress()
         self._commit_meter()
 
+    # -- fault injection ----------------------------------------------------
+    @property
+    def fault_demand(self) -> float:
+        """External (injected) bandwidth demand, in budget units."""
+        return self._fault_demand
+
+    def set_fault_latency_scale(self, scale: float,
+                                tag: Optional[str] = None) -> None:
+        """Multiply kernel latencies by ``scale`` from now on.
+
+        ``tag=None`` scales every kernel (a device-wide straggler
+        window); a stream tag scales only that worker's kernels.  Pass
+        ``1.0`` to end the window.  Running kernels are credited with
+        progress at their old rate and rescheduled at the new one.
+        """
+        if scale <= 0:
+            raise ValueError("latency scale must be > 0")
+        self._advance_progress()
+        if tag is None:
+            self._fault_scale = scale
+        elif scale == 1.0:
+            self._fault_tag_scale.pop(tag, None)
+        else:
+            self._fault_tag_scale[tag] = scale
+        self._commit_state_change()
+
+    def add_fault_bandwidth_demand(self, demand: float) -> None:
+        """Inject (or with a negative value, retire) external bandwidth
+        pressure, throttling resident memory-bound kernels."""
+        self._advance_progress()
+        self._fault_demand += demand
+        if self._fault_demand < 0.0:
+            self._fault_demand = 0.0
+        self._commit_state_change()
+
     # -- internals ----------------------------------------------------------
     def _cache_invariants(self, record: KernelRecord) -> None:
         """Precompute everything about (kernel, mask) the hot path needs."""
@@ -210,11 +253,17 @@ class GpuDevice:
             candidate = desc.flat_time + shared + config.launch_overhead
             if candidate > latency:
                 latency = candidate
-        if (self._total_demand > config.mem_bandwidth_budget
+        total_demand = self._total_demand
+        if self._fault_demand > 0.0:
+            total_demand = total_demand + self._fault_demand
+        if (total_demand > config.mem_bandwidth_budget
                 and record.demand > 0.0):
-            bw_share = config.mem_bandwidth_budget / self._total_demand
+            bw_share = config.mem_bandwidth_budget / total_demand
             throttle = (1.0 - desc.mem_intensity) + desc.mem_intensity * bw_share
             latency /= throttle
+        if self._fault_scale != 1.0 or self._fault_tag_scale:
+            latency *= self._fault_scale * self._fault_tag_scale.get(
+                record.launch.tag, 1.0)
         return latency
 
     def _advance_progress(self) -> None:

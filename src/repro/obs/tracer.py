@@ -103,6 +103,19 @@ class NullTracer:
 
     def counter_sample(self, name: str, value: float) -> None: ...
 
+    def fault_injected(self, kind: str, args: Any = None) -> None: ...
+
+    def fault_window(self, kind: str, start: float, end: float,
+                     args: Any = None) -> None: ...
+
+    def request_shed(self, request: Any, reason: str) -> None: ...
+
+    def request_requeued(self, request: Any, worker: str) -> None: ...
+
+    def worker_crashed(self, worker: str) -> None: ...
+
+    def worker_restarted(self, worker: str) -> None: ...
+
 
 #: The process-wide disabled tracer every :class:`~repro.sim.engine.
 #: Simulator` starts with.
@@ -135,6 +148,8 @@ class Tracer:
         self.barriers = 0
         self.requests_traced = 0
         self.kernels_traced = 0
+        self.faults_traced = 0
+        self.requests_shed = 0
 
     # -- clock -------------------------------------------------------------
     def bind_clock(self, clock: Callable[[], float]) -> None:
@@ -280,6 +295,46 @@ class Tracer:
     def queue_depth(self, queue_name: str, depth: int) -> None:
         """The request queue's depth changed (counter track)."""
         self.counter_sample(f"queue:{queue_name}", depth)
+
+    # -- faults and SLO guard rails ------------------------------------------
+    def fault_injected(self, kind: str, args: Optional[dict] = None) -> None:
+        """A fault-schedule event fired (instant on the ``faults`` row)."""
+        self.instant("faults", "injector", kind, args or {})
+        self.faults_traced += 1
+
+    def fault_window(self, kind: str, start: float, end: float,
+                     args: Optional[dict] = None) -> None:
+        """A windowed fault (straggler, spike, storm) as a span."""
+        self.span("faults", "injector", kind, start, end, args or {})
+        self.faults_traced += 1
+
+    def request_shed(self, request: Any, reason: str) -> None:
+        """A guard rail dropped ``request`` (``reason``: admission /
+        deadline / retries)."""
+        self.instant("server", "shed", reason, {
+            "request": self._local_request(request),
+            "model": request.model_name,
+            "retries": request.retries,
+        })
+        self.requests_shed += 1
+
+    def request_requeued(self, request: Any, worker: str) -> None:
+        """``request`` was re-queued after ``worker`` crashed under it."""
+        self.instant("server", worker, "requeued", {
+            "request": self._local_request(request),
+            "retries": request.retries,
+        })
+
+    def worker_crashed(self, worker: str) -> None:
+        """``worker`` crashed (fault injection)."""
+        self.instant("server", worker, "crashed")
+        active = self._active_request.get(worker)
+        if active is not None:
+            del self._active_request[worker]
+
+    def worker_restarted(self, worker: str) -> None:
+        """``worker`` finished reloading and is serving again."""
+        self.instant("server", worker, "restarted")
 
     # -- export ------------------------------------------------------------
     def counts(self) -> dict[str, int]:

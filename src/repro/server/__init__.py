@@ -5,30 +5,50 @@ enqueues client requests (:mod:`~repro.server.frontend`), shared request
 queues (:mod:`~repro.server.request`), and independent workers that batch,
 pre-process, run inference through the GPU runtime, and post-process
 (:mod:`~repro.server.worker`).  :mod:`~repro.server.policies` implements
-the five spatial-partitioning policies under evaluation and
-:mod:`~repro.server.experiment` drives full co-location experiments at
-maximum load, producing the throughput / tail-latency / energy metrics of
-Fig. 13.
+the five spatial-partitioning policies under evaluation.
+
+Assembly goes through one builder — :class:`~repro.server.setup
+.ServingSetup` — shared by the closed-loop harness
+(:mod:`~repro.server.experiment`, the Fig. 13 maximum-load shape), the
+open-loop harness (:mod:`~repro.server.rate_experiment`, Poisson
+arrivals), and the chaos runner (:mod:`repro.exp.chaos`).  SLO guard
+rails (admission control, deadline shedding, bounded retry) live in
+:mod:`~repro.server.slo`.
 """
 
 from repro.server.experiment import (
     ExperimentConfig,
     ExperimentResult,
     isolated_baseline,
+    measurement_window,
     normalized_rps,
     run_experiment,
     slo_target,
 )
 from repro.server.metrics import LatencyStats, geomean, percentile
 from repro.server.policies import POLICY_NAMES, get_policy
+from repro.server.rate_experiment import (
+    RateResult,
+    max_sustainable_rate,
+    run_rate_experiment,
+)
+from repro.server.setup import ServingSetup
+from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "isolated_baseline",
+    "measurement_window",
     "normalized_rps",
     "run_experiment",
     "slo_target",
+    "RateResult",
+    "max_sustainable_rate",
+    "run_rate_experiment",
+    "ServingSetup",
+    "ResilienceStats",
+    "SloGuard",
     "LatencyStats",
     "geomean",
     "percentile",

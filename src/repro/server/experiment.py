@@ -15,18 +15,12 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.gpu.cu_mask import CUMask
-from repro.gpu.device import GpuDevice
 from repro.gpu.exec_model import ExecutionModelConfig
 from repro.gpu.topology import GpuTopology
 from repro.models.zoo import get_model
 from repro.profiling.model_profiler import run_inference_once
-from repro.server.frontend import ClosedLoopClient
 from repro.server.metrics import LatencyStats
-from repro.server.policies import WorkerPlan, get_policy
-from repro.server.request import RequestQueue
-from repro.server.worker import HostCostModel, Worker
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
+from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = [
     "ExperimentConfig",
@@ -34,7 +28,10 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "isolated_baseline",
+    "measurement_window",
+    "normalized_rps",
     "slo_target",
+    "SLO_FACTOR",
 ]
 
 #: SLO definition shared with prior spatially partitioned servers:
@@ -112,6 +109,21 @@ class ExperimentResult:
     #: High-water mark of simultaneously busy CUs over the whole run
     #: (from the Resource Monitor's per-CU kernel counters).
     peak_cu_occupancy: int = 0
+    #: Shed/retry/degraded/goodput accounting; ``None`` on an unguarded,
+    #: fault-free run (keeping its cached payload byte-stable).
+    resilience: Optional[ResilienceStats] = None
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-met throughput; equals ``total_rps`` when unguarded."""
+        if self.resilience is None:
+            return self.total_rps
+        return self.resilience.goodput_rps
+
+    @property
+    def shed_requests(self) -> int:
+        """Requests dropped by guard rails (0 when unguarded)."""
+        return self.resilience.shed if self.resilience is not None else 0
 
     def worker_p95(self, index: int) -> float:
         """p95 service latency of one worker, in seconds."""
@@ -139,8 +151,12 @@ def _isolated_pass_latency(model_name: str, batch_size: int) -> float:
     return gpu_time + model.host_gap_total(batch_size)
 
 
-def _window_for(config: ExperimentConfig) -> tuple[float, float]:
-    """Auto-size (warmup, measurement end) from the slowest model."""
+def measurement_window(config: ExperimentConfig) -> tuple[float, float]:
+    """Auto-sized (warmup, measurement end) from the slowest model.
+
+    Public so fault schedules and chaos scenarios can place events
+    inside the measured region of a cell they have not run yet.
+    """
     base = max(_isolated_pass_latency(name, config.batch_size)
                for name in config.model_names)
     workers = len(config.model_names)
@@ -149,12 +165,18 @@ def _window_for(config: ExperimentConfig) -> tuple[float, float]:
     return warmup, warmup + measure
 
 
+#: Backward-compatible private alias (the pre-rename name).
+_window_for = measurement_window
+
+
 def run_experiment(
     config: ExperimentConfig,
     *,
     tracer=None,
     metrics=None,
     sample_interval: float = 250e-6,
+    faults=None,
+    guard: Optional[SloGuard] = None,
 ) -> ExperimentResult:
     """Run one co-location cell and return its measurements.
 
@@ -163,47 +185,36 @@ def run_experiment(
     receives periodic occupancy/load/queue-depth samples every
     ``sample_interval`` simulated seconds.  Both default to off and add no
     overhead when omitted.
-    """
-    topology = GpuTopology.mi50()
-    sim = Simulator(tracer=tracer)
-    device = GpuDevice(sim, topology, exec_config=config.exec_config())
-    rng = RngRegistry(config.seed).fork(
-        f"{'-'.join(config.model_names)}/{config.policy}/{config.batch_size}"
-    )
-    plans = [WorkerPlan(get_model(name), config.batch_size)
-             for name in config.model_names]
-    policy = get_policy(config.policy, emulated=config.emulated,
-                        overlap_limit=config.overlap_limit,
-                        reshape=config.allocator_reshape)
-    streams = policy.setup(sim, device, plans)
 
-    warmup, end = _window_for(config)
-    workers: list[Worker] = []
-    queues: list[RequestQueue] = []
-    for i, (plan, stream) in enumerate(zip(plans, streams)):
-        queue = RequestQueue(sim, name=f"q{i}")
-        queues.append(queue)
-        client = ClosedLoopClient(
-            sim, queue, plan.model.name, plan.batch_size,
-            concurrency=1, stop_time=end,
-        )
-        workers.append(Worker(
-            sim,
-            name=f"worker-{i}",
-            stream=stream,
-            segments=plan.model.segments(plan.batch_size, topology),
-            queue=queue,
-            rng=rng.stream(f"host-{i}"),
-            host_costs=HostCostModel(),
-            stop_time=end,
-            on_complete=client.on_request_complete,
-        ))
+    ``faults`` (a :class:`repro.faults.FaultSchedule`) injects the
+    schedule's events during the run; ``guard`` (a :class:`repro.server
+    .slo.SloGuard`) enables admission control, deadline shedding, and
+    bounded retry.  When either is given the result carries
+    :class:`~repro.server.slo.ResilienceStats`; when both are ``None``
+    the run is bit-identical to the pre-fault-layer harness.
+    """
+    from repro.server.setup import ServingSetup
+
+    setup = ServingSetup.build(
+        config,
+        rng_label=(f"{'-'.join(config.model_names)}/{config.policy}"
+                   f"/{config.batch_size}"),
+        tracer=tracer,
+        guard=guard,
+    )
+    sim, device = setup.sim, setup.device
+
+    warmup, end = measurement_window(config)
+    for i in range(len(setup.plans)):
+        setup.add_closed_loop_worker(i, stop_time=end)
+
+    injector = None
+    if faults is not None and len(faults):
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(setup, faults, metrics=metrics)
 
     if metrics is not None:
-        from repro.obs.sampler import SimSampler
-        sampler = SimSampler(sim, device, metrics, queues=queues,
-                             interval=sample_interval)
-        sampler.start(stop_time=end)
+        setup.start_sampler(metrics, sample_interval, stop_time=end)
 
     energy_marks: dict[str, float] = {}
 
@@ -216,13 +227,14 @@ def run_experiment(
     sim.run(until=end)
     snapshot("final")
 
+    faulted = guard is not None or injector is not None
     window = end - warmup
     worker_results = []
     total_requests = 0
-    for plan, worker in zip(plans, workers):
+    for plan, worker in zip(setup.plans, setup.workers):
         latencies = worker.stats.latencies_in(warmup, end)
         completed = worker.stats.completions_in(warmup, end)
-        if not latencies:
+        if not latencies and not faulted:
             raise RuntimeError(
                 f"worker for {plan.model.name} completed no requests in the "
                 f"measurement window; widen requests_scale"
@@ -232,8 +244,14 @@ def run_experiment(
             model_name=plan.model.name,
             requests_completed=completed,
             rps=completed * plan.batch_size / window,
-            latency=LatencyStats.from_samples(latencies),
+            latency=(LatencyStats.from_samples(latencies) if latencies
+                     else LatencyStats.empty()),
         ))
+
+    resilience = None
+    if faulted:
+        resilience = setup.resilience_stats(
+            window_start=warmup, window_end=end, injector=injector)
 
     energy = energy_marks["end"] - energy_marks["warmup"]
     return ExperimentResult(
@@ -245,6 +263,7 @@ def run_experiment(
         energy_per_request=energy / max(1, total_requests),
         gpu_utilization=device.meter.utilization(sim.now),
         peak_cu_occupancy=device.counters.peak_busy_cus,
+        resilience=resilience,
     )
 
 

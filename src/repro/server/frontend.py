@@ -36,6 +36,7 @@ class ClosedLoopClient:
         batch_size: int,
         concurrency: int,
         stop_time: float = float("inf"),
+        retry_backoff: float = 1e-3,
     ) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
@@ -44,7 +45,9 @@ class ClosedLoopClient:
         self.model_name = model_name
         self.batch_size = batch_size
         self.stop_time = stop_time
+        self.retry_backoff = retry_backoff
         self.issued = 0
+        self.rejected = 0
         for _ in range(concurrency):
             self._issue()
 
@@ -59,11 +62,23 @@ class ClosedLoopClient:
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.request_arrival(request)
-        self.queue.put(request)
-        self.issued += 1
+        if self.queue.offer(request):
+            self.issued += 1
+        else:
+            # Admission-controlled queue is full.  Re-arm after a backoff
+            # rather than immediately, or the closed loop would spin at
+            # the same timestamp against a queue that cannot drain yet.
+            self.rejected += 1
+            self.sim.schedule_in(self.retry_backoff, self._issue)
 
-    def on_request_complete(self, _request: InferenceRequest) -> None:
-        """Worker completion callback: re-arm one request."""
+    def on_request_complete(self, request: InferenceRequest) -> None:
+        """Worker completion callback: re-arm one request.
+
+        Fault-injected storm requests re-arm nothing — they are one-shot
+        extras on top of the closed loop, not part of its concurrency.
+        """
+        if request.injected:
+            return
         self._issue()
 
 
@@ -106,5 +121,8 @@ class PoissonClient:
             tracer = self.sim.tracer
             if tracer.enabled:
                 tracer.request_arrival(request)
-            self.queue.put(request)
+            # Open loop: an admission-rejected arrival is simply lost
+            # (the queue counts it as shed); the next arrival is drawn
+            # regardless, preserving the offered rate.
+            self.queue.offer(request)
             self.issued += 1

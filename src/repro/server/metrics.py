@@ -50,6 +50,13 @@ class LatencyStats:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "LatencyStats":
+        """All-zero stats for a worker that served nothing in the window
+        (e.g. crashed under fault injection).  ``count == 0`` marks it."""
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0,
+                   p999=0.0, maximum=0.0)
+
+    @classmethod
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
         """Build from raw latency samples in seconds (sorts once)."""
         if not samples:

@@ -138,9 +138,16 @@ class KrispPolicy(Policy):
             config=KrispConfig(overlap_limit=self.overlap_limit,
                                reshape=self.reshape),
         )
+        # Each stream degrades to its model-wise right-size when a kernel
+        # is missing from the perf-DB (a complete DB never consults it).
         return [
-            system.create_stream(f"w{i}", emulated=self.emulated)
-            for i in range(len(plans))
+            system.create_stream(
+                f"w{i}",
+                emulated=self.emulated,
+                fallback_cus=model_right_size(plan.model.name,
+                                              plan.batch_size),
+            )
+            for i, plan in enumerate(plans)
         ]
 
 

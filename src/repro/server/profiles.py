@@ -14,6 +14,7 @@ force re-profiling.
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
 from pathlib import Path
 
@@ -22,26 +23,33 @@ from repro.models.zoo import get_model
 from repro.profiling.kernel_profiler import KernelProfiler, build_database
 from repro.profiling.model_profiler import profile_model
 
-__all__ = ["model_right_size", "model_database", "cache_path"]
+__all__ = ["combined_database", "model_database", "model_right_size"]
 
 _RIGHTSIZE_TOLERANCE = 0.05
 
 
 def cache_path() -> Path:
-    """Location of the persistent right-size cache.
+    """Deprecated location shim for the persistent right-size cache.
 
-    Compatibility shim: the store itself now lives in
-    :mod:`repro.exp.cache`, but the ``REPRO_CACHE_DIR`` semantics and the
-    ``rightsize.json`` layout are unchanged.
+    .. deprecated::
+        The store lives in :mod:`repro.exp.cache`; build it directly with
+        ``JsonStore(cache_root() / "rightsize.json")``.  This shim emits a
+        :class:`DeprecationWarning` and will be removed next release.
     """
+    warnings.warn(
+        "repro.server.profiles.cache_path() is deprecated; use "
+        "repro.exp.cache.cache_root() / 'rightsize.json' via JsonStore",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.exp.cache import cache_root
     return cache_root() / "rightsize.json"
 
 
 def _store():
     """The right-size store (re-resolves ``REPRO_CACHE_DIR`` per call)."""
-    from repro.exp.cache import JsonStore
-    return JsonStore(cache_path())
+    from repro.exp.cache import JsonStore, cache_root
+    return JsonStore(cache_root() / "rightsize.json")
 
 
 @lru_cache(maxsize=None)

@@ -12,17 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.gpu.device import GpuDevice
-from repro.gpu.topology import GpuTopology
-from repro.models.zoo import get_model
 from repro.server.experiment import ExperimentConfig, slo_target
-from repro.server.frontend import PoissonClient
 from repro.server.metrics import LatencyStats
-from repro.server.policies import WorkerPlan, get_policy
-from repro.server.request import RequestQueue
-from repro.server.worker import HostCostModel, Worker
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
+from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = ["RateResult", "run_rate_experiment", "max_sustainable_rate"]
 
@@ -35,6 +27,9 @@ class RateResult:
     achieved_rps: float
     latency: LatencyStats
     queue_residue: int
+    #: Shed/retry/degraded/goodput accounting; ``None`` on an unguarded,
+    #: fault-free run.
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def saturated(self) -> bool:
@@ -50,6 +45,12 @@ def run_rate_experiment(
     config: ExperimentConfig,
     offered_rps: float,
     duration: Optional[float] = None,
+    *,
+    tracer=None,
+    metrics=None,
+    sample_interval: float = 250e-6,
+    faults=None,
+    guard: Optional[SloGuard] = None,
 ) -> RateResult:
     """Drive the deployment with Poisson arrivals at ``offered_rps``.
 
@@ -57,53 +58,59 @@ def run_rate_experiment(
     request), matching the paper's frontend/queue/worker architecture.
     Requests arrive in batches of ``config.batch_size``, so the arrival
     rate of batches is ``offered_rps / batch_size``.
+
+    ``tracer``, ``metrics``, ``sample_interval``, ``faults``, and
+    ``guard`` mirror :func:`repro.server.experiment.run_experiment`
+    exactly (the aligned keyword surface).
     """
+    from repro.server.setup import ServingSetup
+
     if offered_rps <= 0:
         raise ValueError("offered_rps must be > 0")
-    topology = GpuTopology.mi50()
-    sim = Simulator()
-    device = GpuDevice(sim, topology, exec_config=config.exec_config())
-    rng = RngRegistry(config.seed).fork(f"rate/{offered_rps}")
-    plans = [WorkerPlan(get_model(name), config.batch_size)
-             for name in config.model_names]
-    policy = get_policy(config.policy, emulated=config.emulated,
-                        overlap_limit=config.overlap_limit)
-    streams = policy.setup(sim, device, plans)
+    setup = ServingSetup.build(config, rng_label=f"rate/{offered_rps}",
+                               tracer=tracer, guard=guard)
+    sim = setup.sim
 
     if duration is None:
         base = max(slo_target(name, config.batch_size)
                    for name in config.model_names)
         duration = max(1.0, 40 * base)
 
-    queue = RequestQueue(sim, name="shared")
-    batch_rate = offered_rps / config.batch_size
-    client = PoissonClient(sim, queue, plans[0].model.name,
-                           config.batch_size, rate=batch_rate,
-                           rng=rng.stream("arrivals"), stop_time=duration)
-    workers = [
-        Worker(sim, f"worker-{i}", stream,
-               plan.model.segments(plan.batch_size, topology),
-               queue, rng.stream(f"host-{i}"),
-               host_costs=HostCostModel(), stop_time=duration)
-        for i, (plan, stream) in enumerate(zip(plans, streams))
-    ]
+    setup.add_open_loop(offered_rps, stop_time=duration)
+    queue = setup.queues[0]
+
+    injector = None
+    if faults is not None and len(faults):
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(setup, faults, metrics=metrics)
+
+    if metrics is not None:
+        setup.start_sampler(metrics, sample_interval, stop_time=duration)
+
     sim.run(until=duration)
 
+    faulted = guard is not None or injector is not None
     latencies = []
     completed = 0
-    for worker in workers:
+    for worker in setup.workers:
         for request in worker.stats.completed:
             if request.completion_time is not None:
                 latencies.append(request.latency)  # queueing-inclusive
                 completed += 1
-    if not latencies:
+    if not latencies and not faulted:
         raise RuntimeError("no requests completed; offered rate too low "
                            "or duration too short")
+    resilience = None
+    if faulted:
+        resilience = setup.resilience_stats(
+            window_start=0.0, window_end=duration, injector=injector)
     return RateResult(
         offered_rps=offered_rps,
         achieved_rps=completed * config.batch_size / duration,
-        latency=LatencyStats.from_samples(latencies),
+        latency=(LatencyStats.from_samples(latencies) if latencies
+                 else LatencyStats.empty()),
         queue_residue=len(queue),
+        resilience=resilience,
     )
 
 

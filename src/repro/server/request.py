@@ -30,6 +30,13 @@ class InferenceRequest:
     request_id: int = field(default_factory=lambda: next(_request_ids))
     start_time: Optional[float] = None
     completion_time: Optional[float] = None
+    #: Re-queue count after worker crashes (bounded by SloGuard.max_retries).
+    retries: int = 0
+    #: True for fault-injected storm requests, which must not re-arm a
+    #: closed-loop client's issue loop on completion.
+    injected: bool = False
+    #: Set when the request was dropped by a guard rail instead of served.
+    shed: bool = False
 
     @property
     def latency(self) -> float:
@@ -52,14 +59,24 @@ class InferenceRequest:
 
 
 class RequestQueue:
-    """FIFO of pending requests with blocking dequeue."""
+    """FIFO of pending requests with blocking dequeue.
 
-    def __init__(self, sim: Simulator, name: str = "requests") -> None:
+    ``max_depth`` bounds the backlog for admission control: :meth:`offer`
+    rejects (returns ``False``) when the queue is full, counting the
+    rejection in ``shed``.  The default (``None``) keeps the historical
+    unbounded behaviour, and :meth:`put` always enqueues regardless of
+    depth (retries and storm injection bypass admission).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "requests",
+                 max_depth: Optional[int] = None) -> None:
         self.sim = sim
         self.name = name
+        self.max_depth = max_depth
         self._pending: deque[InferenceRequest] = deque()
         self._waiters: deque[Signal] = deque()
         self.enqueued = 0
+        self.shed = 0
 
     def put(self, request: InferenceRequest) -> None:
         """Enqueue a request, waking one blocked worker if any."""
@@ -70,6 +87,22 @@ class RequestQueue:
             tracer.queue_depth(self.name, len(self._pending))
         if self._waiters:
             self._waiters.popleft().fire(None)
+
+    def offer(self, request: InferenceRequest) -> bool:
+        """Enqueue unless the queue is at ``max_depth``.
+
+        Returns ``True`` on admission.  A rejected request is marked
+        ``shed`` and counted; the caller owns any further accounting.
+        """
+        if self.max_depth is not None and len(self._pending) >= self.max_depth:
+            self.shed += 1
+            request.shed = True
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.request_shed(request, "admission")
+            return False
+        self.put(request)
+        return True
 
     def get_signal(self) -> Signal:
         """Signal that fires once a request is (or becomes) available.

@@ -1,0 +1,112 @@
+"""SLO guard rails for the serving path.
+
+The fault-free harness drives a perfect stack: every request is admitted,
+every admitted request is served, and the queue can always absorb the
+offered load.  Under injected faults (worker crashes, stragglers, request
+storms — :mod:`repro.faults`) that assumption breaks, so the serving path
+grows three production guard rails, all configured through one frozen
+:class:`SloGuard`:
+
+* **admission control** — a queue depth bound; requests offered to a full
+  queue are *shed* at the frontend instead of growing an unbounded
+  backlog;
+* **deadline-based load shedding** — a worker dequeuing a request whose
+  age already exceeds the deadline drops it instead of wasting GPU time
+  on a response nobody is waiting for;
+* **bounded retry with backoff** — a request in flight on a crashed
+  worker is re-queued after an exponential backoff, at most
+  ``max_retries`` times, then shed.
+
+Shed requests are excluded from latency statistics (they were never
+served) but fully accounted: :class:`ResilienceStats` carries the
+shed/retry/degraded counters and the goodput every guarded run reports
+through :class:`~repro.server.experiment.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["SloGuard", "ResilienceStats"]
+
+
+@dataclass(frozen=True)
+class SloGuard:
+    """Admission/deadline/retry policy for one serving run.
+
+    ``admission_depth=None`` disables admission control (the fault-free
+    default); ``deadline=None`` disables deadline shedding.  ``deadline``
+    is measured from the request's arrival, in seconds — chaos runs set
+    it to the model's 2x-isolated SLO target.  A retried request waits
+    ``retry_backoff * 2**(retries - 1)`` seconds before re-entering the
+    queue.
+    """
+
+    admission_depth: Optional[int] = None
+    deadline: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.admission_depth is not None and self.admission_depth < 1:
+            raise ValueError("admission_depth must be >= 1 (or None)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form (folded into cache keys)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SloGuard":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Fault/degradation accounting of one guarded serving run.
+
+    ``goodput_rps`` counts only requests completed within the guard's
+    deadline (all completions when no deadline is set) — the quantity a
+    chaos experiment compares against the fault-free cell.
+    """
+
+    #: Requests rejected by admission control at the frontend.
+    shed_admission: int = 0
+    #: Requests dropped at dequeue because their deadline had passed.
+    shed_deadline: int = 0
+    #: Requests abandoned after exhausting their retry budget.
+    shed_retries: int = 0
+    #: Re-queue events for requests orphaned by a worker crash.
+    retried: int = 0
+    #: Kernel launches served through a degraded (fallback) partition
+    #: size because the perf-DB entry was missing or mask generation
+    #: failed.
+    degraded: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    #: Fault-schedule events actually injected inside the run.
+    faults_injected: int = 0
+    #: Requests completed within the deadline, per second of window.
+    goodput_rps: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        """Total shed requests, across every shedding mechanism."""
+        return self.shed_admission + self.shed_deadline + self.shed_retries
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-native form (stored in cached results)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ResilienceStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)

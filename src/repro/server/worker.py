@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.gpu.kernel import KernelDescriptor
 from repro.server.request import InferenceRequest, RequestQueue
+from repro.server.slo import SloGuard
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, Signal
 
@@ -61,6 +62,10 @@ class WorkerStats:
 
     completed: list[InferenceRequest] = field(default_factory=list)
     requests_processed: int = 0
+    #: Requests dropped by a guard rail (kept out of ``completed`` so
+    #: latency statistics never see them).
+    shed: list[InferenceRequest] = field(default_factory=list)
+    shed_deadline: int = 0
 
     def latencies_in(self, start: float, end: float) -> list[float]:
         """Service latencies of requests completed inside the window."""
@@ -89,6 +94,7 @@ class Worker:
         host_costs: Optional[HostCostModel] = None,
         stop_time: float = float("inf"),
         on_complete: Optional["Callable[[InferenceRequest], None]"] = None,
+        guard: Optional[SloGuard] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -99,29 +105,105 @@ class Worker:
         self.host_costs = host_costs or HostCostModel()
         self.stop_time = stop_time
         self.on_complete = on_complete
+        self.guard = guard
         self.stats = WorkerStats()
+        self.crashed = False
+        self.crashes = 0
+        self.restarts = 0
+        # Crash epoch: crash() bumps it, and a generator resumed under a
+        # newer epoch (its wakeup was already in flight) exits silently.
+        self._epoch = 0
+        self._current: Optional[InferenceRequest] = None
         self.process = Process(sim, self._run(), name=name)
+
+    @property
+    def kernel_count(self) -> int:
+        """Kernels per request (sizes the restart reload cost)."""
+        return sum(len(burst) for burst, _gap in self.segments)
+
+    def crash(self) -> Optional[InferenceRequest]:
+        """Kill the worker now; returns its orphaned in-flight request.
+
+        Kernels already resident on the device run to retirement (the
+        hardware does not crash), but the worker never observes them and
+        the request is never completed — the caller decides whether to
+        re-queue it.  The worker stays dead until :meth:`restart`.
+        """
+        if self.crashed:
+            return None
+        self._epoch += 1
+        self.crashed = True
+        self.crashes += 1
+        orphan = self._current
+        self._current = None
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.worker_crashed(self.name)
+        return orphan
+
+    def restart(self) -> None:
+        """Bring a crashed worker back (after the reload cost elapsed)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restarts += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.worker_restarted(self.name)
+        self.process = Process(self.sim, self._run(), name=self.name)
+
+    def _shed(self, request: InferenceRequest, reason: str) -> None:
+        request.shed = True
+        self.stats.shed.append(request)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.request_shed(request, reason)
+        # Still report upstream so a closed-loop client re-arms; the
+        # request carries ``shed`` so nobody mistakes it for a completion.
+        if self.on_complete is not None:
+            self.on_complete(request)
 
     def _run(self) -> Iterator:
         costs = self.host_costs
+        guard = self.guard
+        epoch = self._epoch
         while self.sim.now < self.stop_time:
             yield self.queue.get_signal()
+            if self._epoch != epoch:
+                return
             if self.sim.now >= self.stop_time:
                 break
             request = self.queue.pop()
+            if (guard is not None and guard.deadline is not None
+                    and self.sim.now - request.arrival_time > guard.deadline):
+                # Its deadline already passed in the queue: serving it
+                # would burn GPU time on a response nobody is waiting for.
+                self.stats.shed_deadline += 1
+                self._shed(request, "deadline")
+                continue
+            self._current = request
             request.start_time = self.sim.now
             tracer = self.sim.tracer
             if tracer.enabled:
                 tracer.request_dequeued(request, self.name)
             yield costs.draw(costs.pre_mean, self.rng)
+            if self._epoch != epoch:
+                return
             for burst, gap in self.segments:
                 for desc in burst:
                     self.stream.launch_kernel(desc, tag=self.name)
                 yield self.stream.synchronize_signal()
+                if self._epoch != epoch:
+                    return
                 if gap > 0:
                     yield gap
+                    if self._epoch != epoch:
+                        return
             yield costs.draw(costs.post_mean, self.rng)
+            if self._epoch != epoch:
+                return
             request.completion_time = self.sim.now
+            self._current = None
             if tracer.enabled:
                 tracer.request_completed(request, self.name)
             self.stats.completed.append(request)

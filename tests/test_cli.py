@@ -61,6 +61,30 @@ def test_trace_command(tmp_path, capsys):
     assert "krisp_samples_total" in prom
 
 
+def test_chaos_command(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    rows = tmp_path / "chaos.json"
+    trace = tmp_path / "chaos-trace.json"
+    assert main(["chaos", "squeezenet", "-n", "2", "-p", "krisp-i",
+                 "-s", "crash", "--scale", "0.25",
+                 "--json-out", str(rows), "--trace-out", str(trace)]) == 0
+    printed = capsys.readouterr().out
+    assert "scenario" in printed and "goodput" in printed
+    assert "guard:" in printed
+
+    payload = json.loads(rows.read_text())
+    assert payload[0]["scenario"] == "crash"
+    assert payload[0]["crashes"] == 1
+    assert payload[0]["baseline_goodput_rps"] > 0
+
+    events = json.loads(trace.read_text())["traceEvents"]
+    procs = {e["args"]["name"] for e in events
+             if e.get("name") == "process_name"}
+    assert "faults" in procs
+
+
 def test_unknown_model_rejected():
     with pytest.raises(SystemExit):
         main(["profile", "gpt4"])

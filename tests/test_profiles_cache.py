@@ -13,9 +13,14 @@ from repro.server.profiles import (
 )
 
 
-def test_cache_path_honours_env(monkeypatch, tmp_path):
+def test_cache_path_honours_env_and_is_deprecated(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    assert cache_path() == tmp_path / "rightsize.json"
+    with pytest.warns(DeprecationWarning, match="cache_path"):
+        assert cache_path() == tmp_path / "rightsize.json"
+
+
+def test_cache_path_not_exported():
+    assert "cache_path" not in profiles.__all__
 
 
 def test_right_size_persists_to_disk(monkeypatch, tmp_path):

@@ -1,0 +1,92 @@
+"""Tests for the shared ServingSetup builder (repro.server.setup).
+
+The refactor's contract: extracting the harness wiring into one builder
+changed *nothing* observable — fault-free results are bit-identical to
+the pre-builder harness (pinned via the cell's stable cache key and
+strict run-to-run equality), and both harnesses now accept the same
+observability keyword surface.
+"""
+
+from repro.exp.cache import cache_key, result_to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.server.experiment import (
+    ExperimentConfig,
+    measurement_window,
+    run_experiment,
+)
+from repro.server.rate_experiment import run_rate_experiment
+from repro.server.setup import ServingSetup
+
+FAST = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
+                        batch_size=4, requests_scale=0.25)
+
+#: Key of the fig13a pin cell under the seed constants.  The refactor
+#: must not move fault-free cells to new cache addresses — a change here
+#: invalidates every previously cached result.
+FIG13A = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
+                          batch_size=32, seed=0, requests_scale=0.5)
+FIG13A_KEY = "a0b294025055a22ab3ac059aab1a18bd43d622b614cfbc23f37b96a86cdaa9ca"
+
+
+def test_fault_free_cache_key_is_unchanged():
+    assert cache_key(FIG13A) == FIG13A_KEY
+
+
+def test_builder_harness_is_run_to_run_identical(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    a = run_experiment(FAST)
+    b = run_experiment(FAST)
+    assert result_to_dict(a) == result_to_dict(b)
+    # Fault-free payloads stay schema-2 shaped: no resilience block.
+    assert a.resilience is None
+    assert "resilience" not in result_to_dict(a)
+
+
+def test_build_replicates_historical_wiring(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    setup = ServingSetup.build(
+        FAST, rng_label=f"{'-'.join(FAST.model_names)}/{FAST.policy}"
+                        f"/{FAST.batch_size}")
+    assert len(setup.plans) == len(FAST.model_names)
+    assert len(setup.streams) == len(setup.plans)
+    assert setup.guard is None and not setup.queues and not setup.workers
+
+    _, end = measurement_window(FAST)
+    for i in range(len(setup.plans)):
+        setup.add_closed_loop_worker(i, stop_time=end)
+    assert [w.name for w in setup.workers] == ["worker-0", "worker-1"]
+    assert [q.name for q in setup.queues] == ["q0", "q1"]
+    setup.sim.run(until=end)
+    assert all(w.stats.completed for w in setup.workers)
+
+
+def test_open_loop_shares_one_queue(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    setup = ServingSetup.build(FAST, rng_label="rate/100.0")
+    setup.add_open_loop(100.0, stop_time=0.5)
+    assert len(setup.queues) == 1
+    assert len(setup.workers) == len(FAST.model_names)
+    assert all(w.queue is setup.queues[0] for w in setup.workers)
+
+
+def test_rate_experiment_accepts_observability_kwargs(monkeypatch, tmp_path):
+    """``run_rate_experiment`` takes the same tracer/metrics/
+    sample_interval keywords as ``run_experiment`` (API alignment)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5,
+                                 tracer=tracer, metrics=metrics,
+                                 sample_interval=1e-3)
+    assert result.achieved_rps > 0
+    assert tracer.requests_traced > 0
+    assert len(metrics) > 0
+
+    plain = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5)
+    traced = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5,
+                                 tracer=Tracer(), metrics=MetricsRegistry())
+    # Observability is pure observation: results are unchanged by it.
+    assert traced.achieved_rps == plain.achieved_rps
+    assert traced.latency == plain.latency
+    assert traced.queue_residue == plain.queue_residue
