@@ -1,0 +1,47 @@
+"""Smoke test for the perf microbenchmark harness (CI's bench gate).
+
+Runs the smallest pinned scenario in both recompute modes, asserts the
+report schema, the cross-mode bit-identity, and the wall-time regression
+gate against the committed ``baseline.json``.  Kept under
+``benchmarks/perf/`` (outside the tier-1 ``tests/`` path) because it is
+timing-sensitive by design.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BASELINE = Path(__file__).with_name("baseline.json")
+
+
+def test_colo4_compare_and_regression_gate():
+    from repro.bench import BENCH_SCHEMA, check_report, run_bench
+
+    report = run_bench(["colo4"], compare=True, repeats=2)
+
+    assert report["schema"] == BENCH_SCHEMA
+    rows = {row["mode"]: row for row in report["rows"]}
+    assert set(rows) == {"incremental", "full"}
+    for row in rows.values():
+        assert row["scenario"] == "colo4"
+        assert row["wall_s"] > 0
+        assert row["events"] > 0
+        assert row["events_per_s"] > 0
+        assert len(row["result_hash"]) == 64
+    # Bit-identity across recompute modes (run_bench also enforces this).
+    assert rows["incremental"]["result_hash"] == rows["full"]["result_hash"]
+    assert "colo4" in report["speedups"]
+
+    baseline = json.loads(BASELINE.read_text())
+    failures = check_report(report, baseline, max_regression=0.30)
+    assert not failures, "\n".join(failures)
+
+
+def test_maskgen_is_deterministic():
+    from repro.bench import run_scenario
+
+    first = run_scenario("maskgen")
+    second = run_scenario("maskgen")
+    assert first.result_hash == second.result_hash
+    assert first.events == second.events == 60_000

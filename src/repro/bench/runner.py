@@ -1,0 +1,199 @@
+"""Benchmark runner: times pinned scenarios, emits ``BENCH_<rev>.json``.
+
+A *row* is one (scenario, recompute-mode) measurement: best-of-N wall
+time, engine events/second, and the run's result hash.  Because every
+scenario is deterministic, the hash doubles as a correctness check — in
+``compare`` mode the runner asserts the incremental and full-recompute
+paths hashed identically before reporting a speedup.
+
+Reports are plain JSON (:data:`BENCH_SCHEMA`) so future PRs can diff
+them; :func:`check_report` implements the CI regression gate against a
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import repro
+from repro.bench.scenarios import SCENARIOS, ScenarioRun
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchError",
+    "BenchRow",
+    "check_report",
+    "run_bench",
+    "run_scenario",
+    "write_report",
+]
+
+BENCH_SCHEMA = 1
+
+#: Modes map to the REPRO_FULL_RECOMPUTE device flag.
+_MODES = {"incremental": "0", "full": "1"}
+
+
+class BenchError(RuntimeError):
+    """A bench invariant failed (hash mismatch, regression, bad input)."""
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One timed (scenario, mode) measurement."""
+
+    scenario: str
+    mode: str
+    wall_s: float
+    events: int
+    events_per_s: float
+    result_hash: str
+    repeats: int
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def run_scenario(name: str, mode: str = "incremental",
+                 repeats: int = 1) -> BenchRow:
+    """Time one scenario ``repeats`` times and keep the best wall time.
+
+    All repeats must produce the same result hash (the scenarios are
+    deterministic); a mismatch raises :class:`BenchError`.
+    """
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise BenchError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    if mode not in _MODES:
+        raise BenchError(f"unknown mode {mode!r}; available: {sorted(_MODES)}")
+    if repeats < 1:
+        raise BenchError("repeats must be >= 1")
+
+    saved = os.environ.get("REPRO_FULL_RECOMPUTE")
+    os.environ["REPRO_FULL_RECOMPUTE"] = _MODES[mode]
+    try:
+        best: Optional[float] = None
+        run: Optional[ScenarioRun] = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            this_run = scenario.execute()
+            wall = time.perf_counter() - start
+            if run is not None and this_run.result_hash != run.result_hash:
+                raise BenchError(
+                    f"{name}: non-deterministic result across repeats "
+                    f"({run.result_hash[:16]} != {this_run.result_hash[:16]})")
+            run = this_run
+            if best is None or wall < best:
+                best = wall
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FULL_RECOMPUTE", None)
+        else:
+            os.environ["REPRO_FULL_RECOMPUTE"] = saved
+
+    assert run is not None and best is not None
+    return BenchRow(
+        scenario=name,
+        mode=mode,
+        wall_s=round(best, 4),
+        events=run.events,
+        events_per_s=round(run.events / best, 1) if best > 0 else 0.0,
+        result_hash=run.result_hash,
+        repeats=repeats,
+    )
+
+
+def run_bench(names: Optional[Sequence[str]] = None, *,
+              compare: bool = False, repeats: int = 1) -> dict:
+    """Run scenarios and return a schema-:data:`BENCH_SCHEMA` report.
+
+    With ``compare=True`` each scenario is run in both recompute modes
+    (incremental first, so the full mode inherits any warm in-process
+    caches — biasing *against* the incremental path's speedup), the
+    result hashes are asserted identical, and per-scenario speedups are
+    reported.
+    """
+    names = list(names) if names else sorted(SCENARIOS)
+    rows: list[BenchRow] = []
+    speedups: dict[str, float] = {}
+    for name in names:
+        incremental = run_scenario(name, "incremental", repeats)
+        rows.append(incremental)
+        if compare:
+            full = run_scenario(name, "full", repeats)
+            rows.append(full)
+            if full.result_hash != incremental.result_hash:
+                raise BenchError(
+                    f"{name}: incremental/full result hashes diverge "
+                    f"({incremental.result_hash[:16]} != "
+                    f"{full.result_hash[:16]}) — the incremental "
+                    "recompute path broke bit-identity")
+            if incremental.wall_s > 0:
+                speedups[name] = round(full.wall_s / incremental.wall_s, 2)
+    report = {
+        "schema": BENCH_SCHEMA,
+        "rev": _git_rev(),
+        "version": repro.__version__,
+        "python": sys.version.split()[0],
+        "rows": [asdict(row) for row in rows],
+    }
+    if compare:
+        report["speedups"] = speedups
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write ``report`` as stable, diff-friendly JSON.  Returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_report(report: dict, baseline: dict, *,
+                 max_regression: float = 0.30) -> list[str]:
+    """Compare ``report`` rows against ``baseline`` rows.
+
+    Returns a list of human-readable failures: any (scenario, mode) row
+    whose wall time regressed more than ``max_regression`` (fractional)
+    over the baseline row, plus schema problems.  An empty list means
+    the gate passes.  Rows present on only one side are ignored (new
+    scenarios must be benchable before they are gateable).
+    """
+    failures: list[str] = []
+    if baseline.get("schema") != report.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs report {report.get('schema')}")
+        return failures
+    base_rows = {(r["scenario"], r["mode"]): r
+                 for r in baseline.get("rows", [])}
+    for row in report.get("rows", []):
+        base = base_rows.get((row["scenario"], row["mode"]))
+        if base is None:
+            continue
+        limit = base["wall_s"] * (1.0 + max_regression)
+        if row["wall_s"] > limit:
+            failures.append(
+                f"{row['scenario']}/{row['mode']}: wall {row['wall_s']:.3f}s "
+                f"exceeds baseline {base['wall_s']:.3f}s "
+                f"+{max_regression:.0%} (limit {limit:.3f}s)")
+    return failures

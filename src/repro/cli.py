@@ -257,6 +257,51 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import (
+        SCENARIOS, BenchError, check_report, run_bench, write_report)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name:<10} {SCENARIOS[name].description}")
+        return 0
+
+    names = args.scenarios or sorted(SCENARIOS)
+    try:
+        report = run_bench(names, compare=args.compare, repeats=args.repeat)
+    except BenchError as exc:
+        print(f"bench failed: {exc}", file=sys.stderr)
+        return 1
+
+    for row in report["rows"]:
+        print(f"{row['scenario']:<10} {row['mode']:<12} "
+              f"wall {row['wall_s']:>8.3f}s  "
+              f"{row['events_per_s']:>12,.0f} events/s  "
+              f"hash {row['result_hash'][:16]}")
+    for name, speedup in report.get("speedups", {}).items():
+        print(f"{name:<10} incremental speedup {speedup:.2f}x "
+              "(hashes identical)")
+
+    if args.json_out:
+        path = write_report(report, args.json_out)
+        print(f"wrote {len(report['rows'])} rows to {path}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_report(
+            report, baseline, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed vs {args.check} "
+              f"(threshold +{args.max_regression:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``krisp-repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -366,6 +411,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run one fault-injected cell under the "
                             "tracer and write a Chrome trace here")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="time the pinned simulator benchmark scenarios")
+    bench.add_argument("scenarios", nargs="*",
+                       help="scenario names (default: all; see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list available scenarios and exit")
+    bench.add_argument("--repeat", "-r", type=int, default=1,
+                       help="repeats per row (best wall time wins)")
+    bench.add_argument("--compare", action="store_true",
+                       help="also run REPRO_FULL_RECOMPUTE=1, assert "
+                            "bit-identical hashes, report speedups")
+    bench.add_argument("--json-out", default=None,
+                       help="write the report here (BENCH_<rev>.json "
+                            "convention)")
+    bench.add_argument("--check", default=None,
+                       help="baseline report JSON to gate wall-time "
+                            "regressions against")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       help="allowed fractional wall-time regression for "
+                            "--check (default 0.30)")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -109,6 +109,22 @@ class ResourceMaskGenerator:
         self.overlap_limit = overlap_limit
         self.reshape = reshape
         self.masks_generated = 0
+        # se_distribution is pure in (num_cus, topology, policy) and the
+        # latter two are fixed per generator, so memoise per size — the
+        # serving loop requests the same few sizes millions of times.
+        self._distribution_cache: dict[int, list[int]] = {}
+        # Mask interning: steady-state serving converges onto a small set
+        # of partitions, and returning the same CUMask object lets its
+        # cached decode (cu_tuple, per-SE counts) be computed once
+        # instead of per launch.
+        self._mask_cache: dict[int, CUMask] = {}
+
+    def _distribution(self, num_cus: int) -> list[int]:
+        targets = self._distribution_cache.get(num_cus)
+        if targets is None:
+            targets = se_distribution(num_cus, self.topology, self.policy)
+            self._distribution_cache[num_cus] = targets
+        return targets
 
     def generate(self, num_cus: int, counters: CUKernelCounters) -> CUMask:
         """Generate a CU mask for a kernel requesting ``num_cus`` CUs.
@@ -163,19 +179,30 @@ class ResourceMaskGenerator:
                 selected.extend(extras[:floor - len(selected)])
 
         self.masks_generated += 1
-        return CUMask.from_cus(topo, selected)
+        bits = 0
+        for cu in selected:
+            bits |= 1 << cu
+        mask = self._mask_cache.get(bits)
+        if mask is None:
+            mask = CUMask(topo, bits)
+            self._mask_cache[bits] = mask
+        return mask
 
     def _select(self, num_cus: int, counters: CUKernelCounters,
                 overlap_limit: int) -> list[int]:
         """One Algorithm-1 selection pass under ``overlap_limit``."""
         topo = self.topology
-        targets = se_distribution(num_cus, topo, self.policy)
+        targets = self._distribution(num_cus)
 
         # Order SEs least-loaded first (Alg. 1 lines 4-8); ties by index
-        # for determinism.
+        # for determinism.  Sorting by load alone is equivalent to the
+        # (load, index) key: the input is ascending by index and Python's
+        # sort is stable, so ties keep index order — but the key is a
+        # C-level list lookup instead of a lambda.
         se_order = sorted(range(topo.num_se),
-                          key=lambda se: (counters.se_load(se), se))
+                          key=counters.se_loads_view().__getitem__)
 
+        counts = counters.counts_view()
         selected: list[int] = []
         overlapped = 0
         allocated = 0
@@ -184,13 +211,14 @@ class ResourceMaskGenerator:
             if want == 0 or allocated >= num_cus:
                 break
             # Order CUs in this SE least-loaded first (Alg. 1 line 12).
-            cu_order = sorted(topo.cus_in_se(se),
-                              key=lambda cu: (counters.count(cu), cu))
+            # Same stable-sort argument as above: cus_in_se() is an
+            # ascending range, so ties keep index order.
+            cu_order = sorted(topo.cus_in_se(se), key=counts.__getitem__)
             taken_in_se = 0
             for cu in cu_order:
                 if taken_in_se >= want or allocated >= num_cus:
                     break
-                occupied = counters.count(cu) > 0
+                occupied = counts[cu] > 0
                 if occupied:
                     overlapped += 1
                 if not occupied or overlapped <= overlap_limit:

@@ -49,6 +49,7 @@ __all__ = [
     "cached_run_experiment",
     "default_cache",
     "fingerprint",
+    "result_hash",
 ]
 
 logger = logging.getLogger(__name__)
@@ -152,6 +153,19 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     if result.resilience is not None:
         payload["resilience"] = result.resilience.to_dict()
     return payload
+
+
+def result_hash(result: ExperimentResult) -> str:
+    """Content hash of one result's canonical JSON payload.
+
+    Every float in the payload survives JSON bit-exactly, so two runs
+    hash equally iff they produced the identical float sequence — the
+    identity the incremental rate-recompute path is held to (and what
+    the bench harness compares across recompute modes).
+    """
+    canonical = json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:

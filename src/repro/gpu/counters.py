@@ -30,6 +30,11 @@ class CUKernelCounters:
         self._counts = [0] * topology.total_cus
         self._peaks = [0] * topology.total_cus
         self._busy = 0
+        self._total = 0
+        # Per-SE load aggregate: Algorithm 1 ranks SEs by load on every
+        # mask generation, so the sum is maintained per assign/release
+        # instead of rescanned per query (integer-exact either way).
+        self._se_loads = [0] * topology.num_se
         self.peak_busy_cus = 0
 
     def assign(self, mask: CUMask) -> None:
@@ -37,29 +42,41 @@ class CUKernelCounters:
         limit = self.topology.max_kernels_per_cu
         counts = self._counts
         peaks = self._peaks
-        for cu in mask.cus():
-            if counts[cu] >= limit:
+        # mask.cu_tuple is the mask's cached decode — on the dispatch hot
+        # path this avoids re-deriving the indices per assign/release.
+        se_loads = self._se_loads
+        per_se = self.topology.cus_per_se
+        for cu in mask.cu_tuple:
+            n = counts[cu]
+            if n >= limit:
                 raise OverflowError(
                     f"CU {cu} already holds {limit} kernels "
                     f"(counter width exceeded)"
                 )
-            if counts[cu] == 0:
+            if n == 0:
                 self._busy += 1
-            counts[cu] += 1
-            if counts[cu] > peaks[cu]:
-                peaks[cu] = counts[cu]
+            counts[cu] = n = n + 1
+            se_loads[cu // per_se] += 1
+            if n > peaks[cu]:
+                peaks[cu] = n
+        self._total += len(mask.cu_tuple)
         if self._busy > self.peak_busy_cus:
             self.peak_busy_cus = self._busy
 
     def release(self, mask: CUMask) -> None:
         """Record a kernel retiring from every CU in ``mask``."""
         counts = self._counts
-        for cu in mask.cus():
-            if counts[cu] == 0:
+        se_loads = self._se_loads
+        per_se = self.topology.cus_per_se
+        for cu in mask.cu_tuple:
+            n = counts[cu]
+            if n == 0:
                 raise ValueError(f"CU {cu} counter underflow")
-            counts[cu] -= 1
-            if counts[cu] == 0:
+            counts[cu] = n = n - 1
+            se_loads[cu // per_se] -= 1
+            if n == 0:
                 self._busy -= 1
+        self._total -= len(mask.cu_tuple)
 
     def count(self, cu: int) -> int:
         """Kernels currently assigned to global CU ``cu``."""
@@ -67,8 +84,20 @@ class CUKernelCounters:
 
     def se_load(self, se: int) -> int:
         """Sum of kernel counts over the CUs of shader engine ``se``
-        (Algorithm 1 lines 4-7)."""
-        return sum(self._counts[cu] for cu in self.topology.cus_in_se(se))
+        (Algorithm 1 lines 4-7).  O(1): read from the maintained
+        aggregate rather than rescanned."""
+        if se < 0:
+            raise ValueError(f"se {se} out of range")
+        return self._se_loads[se]
+
+    def se_loads_view(self) -> list[int]:
+        """Direct (read-only by convention) view of the per-SE load sums.
+
+        Same contract as :meth:`counts_view`: the allocator's selection
+        sort indexes it on every mask generation; callers must not
+        mutate it.
+        """
+        return self._se_loads
 
     def residents_map(self) -> dict[int, int]:
         """``{cu: residents}`` for CUs with at least one kernel."""
@@ -93,8 +122,8 @@ class CUKernelCounters:
         )
 
     def total_assigned(self) -> int:
-        """Sum of all counters (kernel-CU assignments in flight)."""
-        return sum(self._counts)
+        """Sum of all counters (kernel-CU assignments in flight).  O(1)."""
+        return self._total
 
     def snapshot(self) -> list[int]:
         """Copy of the raw per-CU counts."""

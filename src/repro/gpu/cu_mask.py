@@ -60,6 +60,13 @@ class CUMask:
             raise ValueError(f"n={n} out of range")
         return cls(topology, (1 << n) - 1)
 
+    def __hash__(self) -> int:
+        # Hash by bits alone: equal masks (same topology AND bits) hash
+        # equally, and an int hash is much cheaper than the generated
+        # dataclass hash over the (topology, bits) field tuple — masks
+        # key the device's launch-invariant memo on the hot path.
+        return hash(self.bits)
+
     # -- queries ----------------------------------------------------------
     @cached_property
     def cu_tuple(self) -> tuple[int, ...]:

@@ -11,11 +11,24 @@ standard processor-sharing construction for discrete-event simulators.
 
 The recompute path is the simulator's hot loop, so per-kernel invariants
 (wave splits, isolated-latency floor, bandwidth demand) are cached at
-launch, the per-CU residency is read through a zero-copy view, and a
-kernel whose rate did not change keeps its already-scheduled completion
-event.  The slow-path formulas in :mod:`repro.gpu.exec_model` remain the
-single source of truth; the test suite asserts the cached fast path
-matches them.
+launch — memoised per (descriptor, mask) pair, since serving traces
+replay the same kernels onto the same converged partitions — the per-CU
+residency is read through a zero-copy view, and a kernel whose rate did
+not change keeps its already-scheduled completion event.  The slow-path
+formulas in :mod:`repro.gpu.exec_model` remain the single source of
+truth; the test suite asserts the cached fast path matches them.
+
+Rate recomputes are *incremental*: a CU→resident-records reverse index
+turns every state change into an exact dirty set — the records whose CUs
+intersect the changed mask, plus (only when the device-wide bandwidth
+pool crossed into, out of, or moved within the over-budget regime, or a
+fault scale changed) the records the changed term can reach.
+``_effective_latency`` depends solely on ``residents[cu]`` over the
+record's own CUs, the total bandwidth demand, and the fault scales, so
+recomputing only the dirty set yields the byte-identical float sequence
+of the full O(all-residents) sweep.  Set ``REPRO_FULL_RECOMPUTE=1`` (or
+construct ``GpuDevice(full_recompute=True)``) to force the full sweep —
+the validation oracle the property tests compare against.
 
 The device also owns the per-CU kernel counters (the *Resource Monitor*
 KRISP's allocator reads) and the energy meter.
@@ -23,8 +36,10 @@ KRISP's allocator reads) and the energy meter.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from functools import partial
+from typing import Callable, Iterable, Optional
 
 from repro.gpu.counters import CUKernelCounters
 from repro.gpu.cu_mask import CUMask
@@ -47,9 +62,13 @@ __all__ = ["GpuDevice", "KernelRecord"]
 _PROGRESS_EPS = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelRecord:
-    """Bookkeeping for one running (or completed) kernel."""
+    """Bookkeeping for one running (or completed) kernel.
+
+    ``slots=True`` because the rate-recompute and progress-advance loops
+    touch several attributes per resident per state change.
+    """
 
     launch: KernelLaunch
     mask: CUMask
@@ -57,6 +76,9 @@ class KernelRecord:
     start_time: float
     progress: float = 0.0
     eff_latency: float = 0.0
+    # Launch time while resident (the device's ``_last_advance`` is the
+    # authoritative progress stamp for running kernels); refreshed to the
+    # retirement time when the kernel completes.
     last_update: float = 0.0
     end_time: Optional[float] = None
     completion_event: Optional[Event] = field(default=None, repr=False)
@@ -70,6 +92,12 @@ class KernelRecord:
         default=(), repr=False
     )
     occupied_per_se: tuple[int, ...] = field(default=(), repr=False)
+    # Per-device launch order (dirty sets are replayed in this order so
+    # the incremental path schedules events exactly like the full sweep)
+    # and the completion callback, bound once instead of per reschedule.
+    seq_no: int = field(default=0, repr=False)
+    complete_cb: Optional[Callable[[], None]] = field(
+        default=None, repr=False)
 
 
 class GpuDevice:
@@ -82,6 +110,7 @@ class GpuDevice:
         exec_config: Optional[ExecutionModelConfig] = None,
         power_model: Optional[PowerModel] = None,
         record_trace: bool = False,
+        full_recompute: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology or GpuTopology.mi50()
@@ -95,6 +124,29 @@ class GpuDevice:
         self._running: dict[int, KernelRecord] = {}
         self._residents = self.counters.counts_view()
         self._total_demand = 0.0
+        # ``full_recompute=None`` defers to the REPRO_FULL_RECOMPUTE env
+        # flag; truthy selects the O(all-residents) sweep on every state
+        # change (the validation oracle for the incremental path).
+        if full_recompute is None:
+            flag = os.environ.get("REPRO_FULL_RECOMPUTE", "")
+            full_recompute = flag.lower() not in ("", "0", "false")
+        self.full_recompute = full_recompute
+        # Incremental-recompute state, keyed by per-device launch seq
+        # numbers: CU → resident seq numbers, the seq numbers with
+        # positive bandwidth demand (the reach of the over-budget
+        # throttle term), the per-SE occupied-CU aggregate
+        # (integer-exact, so the meter never rescans the resident set),
+        # a per-device launch sequence, and the memoised (descriptor,
+        # mask) launch invariants.
+        self._cu_records: tuple[set[int], ...] = tuple(
+            set() for _ in range(self.topology.total_cus))
+        self._demand_ids: set[int] = set()
+        self._occupied_per_se: list[int] = [0] * self.topology.num_se
+        self._busy_cus = 0
+        self._active_ses = 0
+        self._next_seq_no = 0
+        self._last_advance = 0.0
+        self._invariant_cache: dict = {}
         # Fault-injection state (repro.faults): a global straggler
         # multiplier, per-stream-tag multipliers, and external bandwidth
         # pressure.  All default to the no-fault identity; the hot path
@@ -125,6 +177,11 @@ class GpuDevice:
             )
         self._advance_progress()
         self.counters.assign(mask)
+        # Device bookkeeping is keyed by the per-device launch sequence
+        # number (not the global launch_id): dirty sets of seq numbers
+        # sort back into launch order with a plain C-level int sort.
+        seq_no = self._next_seq_no
+        self._next_seq_no += 1
         record = KernelRecord(
             launch=launch,
             mask=mask,
@@ -132,16 +189,26 @@ class GpuDevice:
             start_time=self.sim.now,
             last_update=self.sim.now,
             on_complete=on_complete,
+            seq_no=seq_no,
+            complete_cb=partial(self._complete, seq_no),
         )
         self._cache_invariants(record)
+        old_total = self._total_demand
         self._total_demand += record.demand
-        self._running[launch.launch_id] = record
+        self._running[seq_no] = record
+        cu_records = self._cu_records
+        for cu in mask.cu_tuple:
+            cu_records[cu].add(seq_no)
+        if record.demand > 0.0:
+            self._demand_ids.add(seq_no)
+        self._apply_occupied(record.occupied_per_se, 1)
         if self.record_trace:
             self.trace.append(record)
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.kernel_launched(record)
-        self._commit_state_change()
+        self._commit_state_change(
+            self._dirty_after_mask_change(mask, old_total))
         return record
 
     def busy(self) -> bool:
@@ -190,43 +257,62 @@ class GpuDevice:
             self._fault_tag_scale.pop(tag, None)
         else:
             self._fault_tag_scale[tag] = scale
+        # A scale change (or the tag map becoming empty/non-empty) can
+        # reach every resident kernel; fault windows are rare, so the
+        # full sweep is the exact dirty set here.
         self._commit_state_change()
 
     def add_fault_bandwidth_demand(self, demand: float) -> None:
         """Inject (or with a negative value, retire) external bandwidth
         pressure, throttling resident memory-bound kernels."""
         self._advance_progress()
+        old_fault = self._fault_demand
         self._fault_demand += demand
         if self._fault_demand < 0.0:
             self._fault_demand = 0.0
-        self._commit_state_change()
+        dirty: set[int] = set()
+        if self._regime_crossed(self._total_demand + old_fault,
+                                self._total_demand + self._fault_demand):
+            dirty |= self._demand_ids
+        self._commit_state_change(dirty)
 
     # -- internals ----------------------------------------------------------
     def _cache_invariants(self, record: KernelRecord) -> None:
-        """Precompute everything about (kernel, mask) the hot path needs."""
+        """Precompute everything about (kernel, mask) the hot path needs.
+
+        Memoised per (descriptor, mask): a serving trace replays the same
+        frozen descriptors, and the allocator converges onto stable
+        partitions, so steady state is nearly all hits.
+        """
         desc = record.launch.descriptor
-        record.floor_latency = isolated_latency(desc, record.mask,
-                                                self.exec_config)
-        record.demand = bandwidth_demand(desc, record.mask)
-        per_se = record.mask.per_se_counts()
-        shares = split_workgroups(desc.workgroups, per_se)
-        topo = self.topology
-        se_shares = []
-        occupied = [0] * topo.num_se
-        for se, (share, cus) in enumerate(zip(shares, per_se)):
-            if cus == 0:
-                continue
-            se_cus = tuple(cu for cu in record.mask.cu_tuple
-                           if topo.se_of(cu) == se)
-            # Precompute share * wg_duration / occupancy: dividing by the
-            # SE's effective capacity yields its shared execution time.
-            weight = share * desc.wg_duration / desc.occupancy
-            se_shares.append((se, weight, se_cus))
-            # CUs that actually hold workgroups (for the power model): a
-            # wide mask under a small grid leaves most allocated CUs idle.
-            occupied[se] = min(cus, -(-share // desc.occupancy))
-        record.se_shares = tuple(se_shares)
-        record.occupied_per_se = tuple(occupied)
+        key = (desc, record.mask)
+        cached = self._invariant_cache.get(key)
+        if cached is None:
+            floor = isolated_latency(desc, record.mask, self.exec_config)
+            demand = bandwidth_demand(desc, record.mask)
+            per_se = record.mask.per_se_counts()
+            shares = split_workgroups(desc.workgroups, per_se)
+            topo = self.topology
+            se_shares = []
+            occupied = [0] * topo.num_se
+            for se, (share, cus) in enumerate(zip(shares, per_se)):
+                if cus == 0:
+                    continue
+                se_cus = tuple(cu for cu in record.mask.cu_tuple
+                               if topo.se_of(cu) == se)
+                # Precompute share * wg_duration / occupancy: dividing by
+                # the SE's effective capacity yields its shared execution
+                # time.
+                weight = share * desc.wg_duration / desc.occupancy
+                se_shares.append((se, weight, se_cus))
+                # CUs that actually hold workgroups (for the power
+                # model): a wide mask under a small grid leaves most
+                # allocated CUs idle.
+                occupied[se] = min(cus, -(-share // desc.occupancy))
+            cached = (floor, demand, tuple(se_shares), tuple(occupied))
+            self._invariant_cache[key] = cached
+        (record.floor_latency, record.demand,
+         record.se_shares, record.occupied_per_se) = cached
 
     def _effective_latency(self, record: KernelRecord) -> float:
         """Latency under current residency and bandwidth (fast path)."""
@@ -267,63 +353,169 @@ class GpuDevice:
         return latency
 
     def _advance_progress(self) -> None:
-        """Credit every running kernel with work done since last update."""
-        now = self.sim.now
-        for record in self._running.values():
-            if record.eff_latency > 0:
-                record.progress += (now - record.last_update) / record.eff_latency
-                if record.progress > 1.0:
-                    record.progress = 1.0
-            record.last_update = now
+        """Credit every running kernel with work done since last update.
 
-    def _commit_state_change(self) -> None:
-        """Recompute all rates and reschedule completions after a change."""
-        self._recompute_rates()
+        Several state changes commonly land on the same timestamp (a
+        retirement immediately followed by the next launch), so the whole
+        sweep early-outs when no simulated time has passed — ``progress
+        += 0 / rate`` is an exact no-op, every record's ``last_update``
+        already equals ``now`` (the invariant this method maintains), and
+        skipping it changes no floats.
+        """
+        now = self.sim.now
+        last = self._last_advance
+        if now == last:
+            return
+        self._last_advance = now
+        # Invariant: every resident was last credited at ``last`` (launch
+        # and retire both advance first), so the elapsed term is shared
+        # and the device-level ``_last_advance`` stamp supersedes the
+        # per-record ``last_update`` field while a kernel is resident
+        # (the field is refreshed at retirement).
+        elapsed = now - last
+        for record in self._running.values():
+            lat = record.eff_latency
+            if lat > 0:
+                progress = record.progress + elapsed / lat
+                record.progress = 1.0 if progress > 1.0 else progress
+
+    def _regime_crossed(self, old_total: float, new_total: float) -> bool:
+        """Whether a total-demand change can reach any resident's latency.
+
+        The bandwidth term only applies while the effective total exceeds
+        the budget, so a move entirely inside the under-budget region
+        touches nothing; any move into, out of, or within the over-budget
+        region dirties every record with positive demand.
+        """
+        if old_total == new_total:
+            return False
+        budget = self.exec_config.mem_bandwidth_budget
+        return old_total > budget or new_total > budget
+
+    def _dirty_after_mask_change(self, mask: CUMask,
+                                 old_total: float) -> set[int]:
+        """Exact dirty set after launching/retiring a kernel on ``mask``."""
+        dirty: set[int] = set()
+        cu_records = self._cu_records
+        for cu in mask.cu_tuple:
+            dirty |= cu_records[cu]
+        fault = self._fault_demand
+        if self._regime_crossed(old_total + fault,
+                                self._total_demand + fault):
+            dirty |= self._demand_ids
+        return dirty
+
+    def _commit_state_change(self, dirty: Optional[set[int]] = None) -> None:
+        """Recompute affected rates and reschedule completions.
+
+        ``dirty=None`` (and ``full_recompute`` mode) sweeps every
+        resident.  A dirty set is replayed in launch order — the same
+        relative order the full sweep visits — so both paths issue the
+        identical sequence of ``schedule`` calls and the event seq
+        numbers (the deterministic tie-breakers) coincide.
+        """
+        running = self._running
+        if dirty is None or self.full_recompute or len(dirty) == len(running):
+            self._recompute_rates(running.values())
+        else:
+            # Dirty entries are per-device seq numbers, so a plain int
+            # sort replays them in launch order — the same relative
+            # order the full sweep visits.
+            self._recompute_rates(map(running.__getitem__, sorted(dirty)))
         self._commit_meter()
+
+    def _apply_occupied(self, per_se: tuple[int, ...], sign: int) -> None:
+        """Fold one record's occupied-CU shape into the meter aggregates.
+
+        All integer arithmetic, so the maintained ``busy``/``active SE``
+        totals are exactly what a rescan of the resident set computes.
+        """
+        occupied = self._occupied_per_se
+        cap = self.topology.cus_per_se
+        for se, n in enumerate(per_se):
+            if n == 0:
+                continue
+            old = occupied[se]
+            new = old + (n if sign > 0 else -n)
+            occupied[se] = new
+            self._busy_cus += min(new, cap) - min(old, cap)
+            self._active_ses += (new > 0) - (old > 0)
 
     def _commit_meter(self) -> None:
         # Power follows *occupied* CUs (those actually holding workgroups),
-        # capped at each SE's physical size when kernels overlap.
-        topo = self.topology
-        occupied = [0] * topo.num_se
-        for record in self._running.values():
-            for se, n in enumerate(record.occupied_per_se):
-                occupied[se] += n
-        busy = sum(min(n, topo.cus_per_se) for n in occupied)
-        active_ses = sum(1 for n in occupied if n > 0)
+        # capped at each SE's physical size when kernels overlap.  The
+        # busy/active-SE totals are maintained incrementally on
+        # launch/retire (integer arithmetic, so they are exact);
+        # full-recompute mode keeps the original resident-set rescan as
+        # the oracle.
+        if self.full_recompute:
+            topo = self.topology
+            occupied = [0] * topo.num_se
+            for record in self._running.values():
+                for se, n in enumerate(record.occupied_per_se):
+                    occupied[se] += n
+            busy = sum(min(n, topo.cus_per_se) for n in occupied)
+            active_ses = sum(1 for n in occupied if n > 0)
+        else:
+            busy = self._busy_cus
+            active_ses = self._active_ses
         self.meter.advance(self.sim.now, busy, active_ses)
 
-    def _recompute_rates(self) -> None:
+    def _recompute_rates(self, records: Iterable[KernelRecord]) -> None:
+        effective_latency = self._effective_latency
+        schedule = self.sim.schedule
         now = self.sim.now
-        for record in self._running.values():
-            latency = self._effective_latency(record)
-            if (record.completion_event is not None
-                    and not record.completion_event.cancelled
-                    and latency == record.eff_latency):
-                continue  # rate unchanged; scheduled completion still valid
-            if record.completion_event is not None:
-                record.completion_event.cancel()
+        for record in records:
+            latency = effective_latency(record)
+            event = record.completion_event
+            if event is not None:
+                if not event.cancelled and latency == record.eff_latency:
+                    continue  # rate unchanged; completion still valid
+                event.cancel()
             record.eff_latency = latency
             remaining = 1.0 - record.progress
+            # Inlined schedule_in: delay is >= 0 by construction and
+            # ``now + delay`` is the exact float schedule_in computes.
             delay = 0.0 if remaining <= _PROGRESS_EPS else remaining * latency
-            record.completion_event = self.sim.schedule_in(
-                delay,
-                lambda lid=record.launch.launch_id: self._complete(lid),
-            )
+            record.completion_event = schedule(now + delay, record.complete_cb)
 
-    def _complete(self, launch_id: int) -> None:
-        record = self._running.get(launch_id)
+    def check_rate_invariant(self) -> None:
+        """Assert every resident's cached rate matches a fresh recompute.
+
+        The incremental path's correctness contract, verifiable at any
+        quiescent point: skipped (non-dirty) records must already hold
+        the exact latency a full sweep would assign them.
+        """
+        for record in self._running.values():
+            fresh = self._effective_latency(record)
+            if fresh != record.eff_latency:
+                raise AssertionError(
+                    f"kernel {record.launch.descriptor.name} "
+                    f"(launch {record.launch.launch_id}): cached rate "
+                    f"{record.eff_latency!r} != fresh {fresh!r}"
+                )
+
+    def _complete(self, seq_no: int) -> None:
+        record = self._running.get(seq_no)
         if record is None:
             return
         self._advance_progress()
         record.progress = 1.0
+        record.last_update = self.sim.now
         record.end_time = self.sim.now
-        del self._running[launch_id]
+        del self._running[seq_no]
         self.counters.release(record.mask)
+        cu_records = self._cu_records
+        for cu in record.mask.cu_tuple:
+            cu_records[cu].discard(seq_no)
+        self._demand_ids.discard(seq_no)
+        self._apply_occupied(record.occupied_per_se, -1)
+        old_total = self._total_demand
         self._total_demand -= record.demand
         if not self._running:
             self._total_demand = 0.0  # absorb float drift at idle points
-        self._commit_state_change()
+        self._commit_state_change(
+            self._dirty_after_mask_change(record.mask, old_total))
         self.kernels_completed += 1
         tracer = self.sim.tracer
         if tracer.enabled:

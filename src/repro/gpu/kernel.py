@@ -65,6 +65,15 @@ class KernelDescriptor:
     flat_time: float = 0.0
     bytes_in: int = 0
 
+    def __hash__(self) -> int:
+        # Hash by (name, workgroups) alone — equality still compares
+        # every field, but the generated dataclass hash re-tuples eight
+        # fields per call and descriptors key the device's
+        # launch-invariant memo on the hot path.  Same-named descriptors
+        # differing only in batch scaling land in different buckets via
+        # the workgroup count.
+        return hash((self.name, self.workgroups))
+
     def __post_init__(self) -> None:
         if self.workgroups < 1:
             raise ValueError(f"{self.name}: workgroups must be >= 1")

@@ -177,8 +177,14 @@ def run_experiment(
     sample_interval: float = 250e-6,
     faults=None,
     guard: Optional[SloGuard] = None,
+    stats_out: Optional[dict] = None,
 ) -> ExperimentResult:
     """Run one co-location cell and return its measurements.
+
+    ``stats_out`` (a plain dict) receives engine-level run statistics —
+    ``events_executed`` and final ``sim_time`` — for harnesses (the
+    bench CLI) that need them; the measurement payload itself stays
+    byte-stable.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records the request/kernel/
     mask-decision timeline; ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
@@ -226,6 +232,9 @@ def run_experiment(
     sim.schedule(end, lambda: snapshot("end"), priority=10)
     sim.run(until=end)
     snapshot("final")
+    if stats_out is not None:
+        stats_out["events_executed"] = sim.events_executed
+        stats_out["sim_time"] = sim.now
 
     faulted = guard is not None or injector is not None
     window = end - warmup

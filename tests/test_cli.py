@@ -93,3 +93,34 @@ def test_unknown_model_rejected():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_bench_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "bench.json"
+    assert main(["bench", "colo4", "--compare", "--json-out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "speedup" in printed and "hashes identical" in printed
+
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert {row["mode"] for row in report["rows"]} == {"incremental", "full"}
+    for row in report["rows"]:
+        assert row["scenario"] == "colo4"
+        assert row["wall_s"] > 0
+        assert row["events"] > 0
+        assert len(row["result_hash"]) == 64
+    hashes = {row["result_hash"] for row in report["rows"]}
+    assert len(hashes) == 1
+    assert "colo4" in report["speedups"]
+
+    # The fresh report gates cleanly against itself as a baseline.
+    assert main(["bench", "colo4", "--check", str(out)]) == 0
+
+
+def test_bench_list_and_bad_scenario(capsys):
+    assert main(["bench", "--list"]) == 0
+    assert "dense" in capsys.readouterr().out
+    assert main(["bench", "does-not-exist"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err

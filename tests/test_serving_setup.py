@@ -7,7 +7,7 @@ strict run-to-run equality), and both harnesses now accept the same
 observability keyword surface.
 """
 
-from repro.exp.cache import cache_key, result_to_dict
+from repro.exp.cache import cache_key, result_hash, result_to_dict
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.server.experiment import (
@@ -28,9 +28,25 @@ FIG13A = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
                           batch_size=32, seed=0, requests_scale=0.5)
 FIG13A_KEY = "a0b294025055a22ab3ac059aab1a18bd43d622b614cfbc23f37b96a86cdaa9ca"
 
+#: Content hash of the fig13a pin cell's full result payload, captured
+#: on main before the incremental-recompute refactor.  Both recompute
+#: paths must keep reproducing it float-for-float.
+FIG13A_RESULT_SHA = (
+    "586c866e8d4b92e20d04807e15adf3e875a658afdd5b75efc7161732ebb6ee5f")
+
 
 def test_fault_free_cache_key_is_unchanged():
     assert cache_key(FIG13A) == FIG13A_KEY
+
+
+def test_fig13a_result_hash_pin_incremental(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL_RECOMPUTE", raising=False)
+    assert result_hash(run_experiment(FIG13A)) == FIG13A_RESULT_SHA
+
+
+def test_fig13a_result_hash_pin_full_recompute(monkeypatch):
+    monkeypatch.setenv("REPRO_FULL_RECOMPUTE", "1")
+    assert result_hash(run_experiment(FIG13A)) == FIG13A_RESULT_SHA
 
 
 def test_builder_harness_is_run_to_run_identical(monkeypatch, tmp_path):

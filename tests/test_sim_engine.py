@@ -102,3 +102,64 @@ def test_peek_skips_cancelled():
     sim.schedule(2.0, lambda: None)
     e1.cancel()
     assert sim.peek() == 2.0
+
+
+# -- live-event accounting and heap compaction ---------------------------
+
+def test_pending_counter_matches_heap_scan():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+    assert sim.pending() == sim._pending_scan() == 50
+    for event in events[::3]:
+        event.cancel()
+    assert sim.pending() == sim._pending_scan()
+    sim.run(max_events=10)
+    assert sim.pending() == sim._pending_scan()
+    # Double-cancel must not double-count.
+    events[0].cancel()
+    events[0].cancel()
+    assert sim.pending() == sim._pending_scan()
+
+
+def test_cancel_after_execution_does_not_corrupt_the_counter():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run()
+    event.cancel()
+    assert sim._cancelled_in_heap == 0
+    assert sim.pending() == sim._pending_scan() == 0
+
+
+def test_compaction_drops_dead_entries_and_preserves_order():
+    sim = Simulator()
+    order = []
+    events = []
+    for i in range(Simulator.COMPACT_MIN + 200):
+        events.append(
+            sim.schedule(float(i + 1), lambda i=i: order.append(i)))
+    live = []
+    for i, event in enumerate(events):
+        if i % 4 == 0:
+            live.append(i)
+        else:
+            event.cancel()
+    # Cancelled entries now outnumber live ones; the next schedule()
+    # compacts the heap down to the survivors (plus the new event).
+    sentinel = sim.schedule(1e9, lambda: order.append(-1))
+    assert len(sim._heap) == len(live) + 1
+    assert sim._cancelled_in_heap == 0
+    assert sim.pending() == sim._pending_scan() == len(live) + 1
+    sentinel.cancel()
+    sim.run()
+    assert order == live
+
+
+def test_small_heaps_are_never_compacted():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+    for event in events:
+        event.cancel()
+    sim.schedule(100.0, lambda: None)
+    # Below COMPACT_MIN the dead entries stay (lazy deletion only).
+    assert len(sim._heap) == 21
+    assert sim.pending() == sim._pending_scan() == 1
