@@ -39,7 +39,31 @@ from repro.server.experiment import ExperimentConfig, run_experiment
 from repro.server.slo import SloGuard
 from repro.sim.rng import RngRegistry
 
-__all__ = ["Scenario", "ScenarioRun", "SCENARIOS"]
+__all__ = ["Scenario", "ScenarioRun", "SCENARIOS",
+           "COLO4_CONFIG", "DENSE_CONFIG", "CHAOS_CONFIG", "CHAOS_GUARD",
+           "chaos_faults"]
+
+#: The pinned experiment cells, exposed as module constants so the audit
+#: subsystem (:mod:`repro.check`) can replay exactly the benched cells
+#: through other execution paths (pooled sweeps, the result cache, audit
+#: hooks) without re-deriving them.  ``execute`` keeps using these same
+#: objects, so the bench rows and the audit replays are one workload.
+COLO4_CONFIG = ExperimentConfig(
+    ("squeezenet",) * 4, policy="krisp-i", batch_size=8,
+    seed=0, requests_scale=0.25)
+DENSE_CONFIG = ExperimentConfig(
+    ("squeezenet",) * 48, policy="krisp-i", batch_size=1,
+    seed=0, requests_scale=0.015625)
+CHAOS_CONFIG = COLO4_CONFIG
+#: Fixed-deadline guard (rather than the SLO-derived default) so the
+#: scenario's behaviour is pinned by this module alone.
+CHAOS_GUARD = SloGuard(admission_depth=8, deadline=0.25,
+                       max_retries=2, retry_backoff=1e-3)
+
+
+def chaos_faults(config: ExperimentConfig = CHAOS_CONFIG):
+    """The chaos scenario's fault schedule (deterministic in ``config``)."""
+    return build_scenario("mixed", config)
 
 
 @dataclass(frozen=True)
@@ -53,11 +77,20 @@ class ScenarioRun:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named, pinned benchmark workload."""
+    """A named, pinned benchmark workload.
+
+    ``config`` (plus ``guard``/``faults_for`` when set) describes the
+    experiment cell a DES-backed scenario runs, so differential checkers
+    can replay the same cell through other execution paths; ``None`` for
+    non-DES scenarios (maskgen).
+    """
 
     name: str
     description: str
     execute: Callable[[], ScenarioRun]
+    config: ExperimentConfig | None = None
+    guard: SloGuard | None = None
+    faults_for: Callable[[ExperimentConfig], object] | None = None
 
 
 def _cell(config: ExperimentConfig, faults=None, guard=None) -> ScenarioRun:
@@ -72,26 +105,16 @@ def _cell(config: ExperimentConfig, faults=None, guard=None) -> ScenarioRun:
 
 
 def _run_colo4() -> ScenarioRun:
-    return _cell(ExperimentConfig(
-        ("squeezenet",) * 4, policy="krisp-i", batch_size=8,
-        seed=0, requests_scale=0.25))
+    return _cell(COLO4_CONFIG)
 
 
 def _run_dense() -> ScenarioRun:
-    return _cell(ExperimentConfig(
-        ("squeezenet",) * 48, policy="krisp-i", batch_size=1,
-        seed=0, requests_scale=0.015625))
+    return _cell(DENSE_CONFIG)
 
 
 def _run_chaos() -> ScenarioRun:
-    config = ExperimentConfig(
-        ("squeezenet",) * 4, policy="krisp-i", batch_size=8,
-        seed=0, requests_scale=0.25)
-    # Fixed-deadline guard (rather than the SLO-derived default) so the
-    # scenario's behaviour is pinned by this module alone.
-    guard = SloGuard(admission_depth=8, deadline=0.25,
-                     max_retries=2, retry_backoff=1e-3)
-    return _cell(config, faults=build_scenario("mixed", config), guard=guard)
+    return _cell(CHAOS_CONFIG, faults=chaos_faults(CHAOS_CONFIG),
+                 guard=CHAOS_GUARD)
 
 
 def _run_maskgen() -> ScenarioRun:
@@ -124,16 +147,21 @@ SCENARIOS: dict[str, Scenario] = {
             "colo4",
             "4-worker squeezenet co-location cell (CI smoke size)",
             _run_colo4,
+            config=COLO4_CONFIG,
         ),
         Scenario(
             "dense",
             "48-worker batch-1 KRISP-I cell (incremental-recompute target)",
             _run_dense,
+            config=DENSE_CONFIG,
         ),
         Scenario(
             "chaos",
             "guarded 4-worker cell under the mixed fault schedule",
             _run_chaos,
+            config=CHAOS_CONFIG,
+            guard=CHAOS_GUARD,
+            faults_for=chaos_faults,
         ),
         Scenario(
             "maskgen",

@@ -1,0 +1,40 @@
+"""Conservation-law audit subsystem.
+
+The simulator's credibility rests on invariants no single unit test
+states end to end: work is conserved between the per-CU counters and
+the per-kernel ledger, every request admission is disposed of exactly
+once, Algorithm 1 masks obey the floor/cap/shape/overlap laws, the
+emulation correction is the identity the paper claims, and every
+execution mode (incremental vs full recompute, serial vs pooled,
+cached vs fresh) produces byte-identical results.  This package checks
+all of them on demand — ``krisp-repro check`` — and self-tests the
+checkers by seeding deliberate faults (``--mutate-smoke``).
+"""
+
+from repro.check.invariants import (
+    MaskLawChecker,
+    request_conservation,
+    run_device_program,
+    run_mask_program,
+)
+from repro.check.report import CHECK_SCHEMA, CheckReport, CheckResult
+from repro.check.runner import (
+    DEFAULT_SCENARIOS,
+    available_checks,
+    run_checks,
+    run_mutate_smoke,
+)
+
+__all__ = [
+    "CHECK_SCHEMA",
+    "CheckReport",
+    "CheckResult",
+    "DEFAULT_SCENARIOS",
+    "MaskLawChecker",
+    "available_checks",
+    "request_conservation",
+    "run_checks",
+    "run_device_program",
+    "run_mask_program",
+    "run_mutate_smoke",
+]

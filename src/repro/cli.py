@@ -302,6 +302,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.check import available_checks, run_checks, run_mutate_smoke
+
+    if args.list:
+        from repro.check.mutate import MUTATIONS
+
+        for name in available_checks(include_all=True):
+            print(name)
+        for mutation in MUTATIONS:
+            print(f"mutate:{mutation.name}")
+        return 0
+
+    def progress(name: str) -> None:
+        print(f".. {name}", file=sys.stderr)
+
+    if args.mutate_smoke:
+        report, all_caught = run_mutate_smoke(progress=progress)
+        for line in report.summary_lines():
+            print(line)
+        if args.json_out:
+            payload = report.to_dict()
+            payload["self_test_ok"] = all_caught
+            Path(args.json_out).write_text(json.dumps(payload, indent=2))
+            print(f"wrote mutate-smoke report to {args.json_out}")
+        if all_caught:
+            print("mutate-smoke: every seeded fault was caught "
+                  "(exit 1 — violations are expected here)")
+            return 1
+        print("mutate-smoke: AUDIT LAYER FAILED — a seeded fault "
+              "produced no violations", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_checks(scenarios=args.scenario,
+                            include_all=args.all, progress=progress)
+    except ValueError as exc:
+        print(f"check failed: {exc}", file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2))
+        print(f"wrote check report to {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``krisp-repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -433,6 +483,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional wall-time regression for "
                             "--check (default 0.30)")
     bench.set_defaults(func=_cmd_bench)
+
+    check = sub.add_parser(
+        "check", help="audit the simulator's conservation laws")
+    check.add_argument("--scenario", "-s", nargs="+", default=None,
+                       help="restrict differential replays to these pinned "
+                            "scenarios (default: colo4 chaos)")
+    check.add_argument("--all", action="store_true",
+                       help="replay every pinned scenario, including the "
+                            "slow dense cell")
+    check.add_argument("--mutate-smoke", action="store_true",
+                       help="self-test: seed deliberate faults and assert "
+                            "the checkers catch them (exits 1 when all are "
+                            "caught, 2 when one escapes)")
+    check.add_argument("--json-out", default=None,
+                       help="write the report as JSON here")
+    check.add_argument("--list", action="store_true",
+                       help="list every check and mutation, then exit")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

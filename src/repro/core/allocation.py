@@ -37,7 +37,27 @@ from repro.gpu.counters import CUKernelCounters
 from repro.gpu.cu_mask import CUMask
 from repro.gpu.topology import GpuTopology
 
-__all__ = ["DistributionPolicy", "ResourceMaskGenerator", "se_distribution"]
+__all__ = ["DistributionPolicy", "ResourceMaskGenerator", "fair_share_floor",
+           "se_distribution"]
+
+
+def fair_share_floor(total_cus: int, total_assigned: int) -> int:
+    """Minimum CU grant under the fair-share rule (Section IV-C2).
+
+    ``total_assigned`` is the device-wide number of kernel-CU
+    assignments in flight (the sum of the per-CU counters); the ceiling
+    of that over the device size estimates how many device-filling
+    kernels are active, and a new kernel is guaranteed at least an equal
+    share alongside them.  Exposed as a module function so the audit
+    subsystem (:mod:`repro.check`) re-derives the same floor the
+    generator enforces.
+    """
+    if total_cus < 1:
+        raise ValueError("total_cus must be >= 1")
+    if total_assigned < 0:
+        raise ValueError("total_assigned must be >= 0")
+    load = -(-total_assigned // total_cus)  # ceil
+    return max(1, total_cus // (load + 1))
 
 
 class DistributionPolicy(Enum):
@@ -150,8 +170,7 @@ class ResourceMaskGenerator:
         """
         topo = self.topology
         num_cus = max(1, min(num_cus, topo.total_cus))
-        load = -(-counters.total_assigned() // topo.total_cus)  # ceil
-        floor = max(1, topo.total_cus // (load + 1))
+        floor = fair_share_floor(topo.total_cus, counters.total_assigned())
         if self.overlap_limit == 0:
             free = topo.total_cus - counters.busy_cus()
             num_cus = min(num_cus, max(floor, free))

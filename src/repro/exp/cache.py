@@ -11,7 +11,10 @@ served across a model change.
 
 Corrupt or truncated cache files are *misses*, never crashes: they are
 counted in :class:`CacheStats` and logged, then recomputed.  All writes
-are best-effort (a read-only cache directory degrades to no caching).
+are best-effort (a read-only cache directory degrades to no caching)
+and *atomic* — published via a same-directory temp file and
+``os.replace`` — so concurrent sweep workers racing on one key can
+never leave an interleaved or half-written file behind.
 
 Set ``REPRO_CACHE_DIR`` to relocate the store (shared with the profiling
 cache in :mod:`repro.server.profiles`); delete the directory to clear it.
@@ -24,6 +27,7 @@ import hashlib
 import json
 import logging
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional
@@ -57,6 +61,32 @@ logger = logging.getLogger(__name__)
 #: Bump when the serialized payload layout changes (invalidates entries).
 #: Schema 2: adds ``LatencyStats.p999`` and ``peak_cu_occupancy``.
 CACHE_SCHEMA = 2
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file +
+    ``os.replace``).
+
+    Concurrent writers — two pooled sweep workers storing the same key —
+    each publish a complete file; readers see either the old entry or a
+    new one, never an interleaved or truncated mix, and a writer dying
+    mid-write can no longer clobber a previously good entry.  Raises
+    ``OSError`` like a plain write would (callers keep their best-effort
+    handling); the temp file is cleaned up on failure.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except OSError:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def cache_root() -> Path:
@@ -249,12 +279,12 @@ class JsonStore:
         return default
 
     def put(self, key: str, value: Any) -> None:
-        """Best-effort read-modify-write of one entry."""
+        """Best-effort read-modify-write of one entry (atomic publish)."""
         data = self.load()
         data[key] = value
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(data, indent=2, sort_keys=True))
+            _atomic_write_text(
+                self.path, json.dumps(data, indent=2, sort_keys=True))
             self.stats.stores += 1
         except OSError:
             pass  # caching is best-effort; computation still works
@@ -324,8 +354,8 @@ class ResultCache:
         if guard is not None:
             payload["guard"] = guard.to_dict()
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            _atomic_write_text(
+                path, json.dumps(payload, indent=2, sort_keys=True))
             self.stats.stores += 1
         except OSError:
             pass

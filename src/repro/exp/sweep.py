@@ -292,7 +292,6 @@ def run_sweep(
     pending = [c for c in cells if c not in results]
     attempts = {c: 0 for c in pending}
     last_error: dict[ExperimentConfig, tuple[str, str]] = {}
-    workers = min(jobs, len(pending)) if pending else 1
 
     def record(config: ExperimentConfig, outcome) -> None:
         nonlocal cell_time
@@ -315,6 +314,9 @@ def run_sweep(
                    if c not in results and attempts[c] == round_index]
         if not pending:
             break
+        # Sized per round: a retry round usually has far fewer cells
+        # than the first pass, so it should not spawn the full pool.
+        workers = min(jobs, len(pending))
         if workers == 1:
             for config in pending:
                 record(config, _run_cell(config, faults, guard))

@@ -23,6 +23,15 @@ class CUKernelCounters:
     ``peak_busy_cus`` (maximum number of simultaneously busy CUs — the
     cell's peak CU occupancy, surfaced in
     :class:`~repro.server.experiment.ExperimentResult`).
+
+    When the owner calls :meth:`tick` at every counter mutation, the
+    structure also integrates two CU-time quantities over the run —
+    ``assigned_cu_seconds`` (∫ Σ per-CU counts dt: total kernel-CU
+    residency) and ``busy_cu_seconds`` (∫ busy-CU count dt) — which the
+    audit subsystem (:mod:`repro.check`) balances against the device's
+    per-kernel work ledger (work conservation).  Ticking is opt-in and
+    pure accounting: it reads the simulation clock but never feeds back
+    into any result float.
     """
 
     def __init__(self, topology: GpuTopology) -> None:
@@ -36,6 +45,24 @@ class CUKernelCounters:
         # instead of rescanned per query (integer-exact either way).
         self._se_loads = [0] * topology.num_se
         self.peak_busy_cus = 0
+        self._last_tick = 0.0
+        self.assigned_cu_seconds = 0.0
+        self.busy_cu_seconds = 0.0
+
+    def tick(self, now: float) -> None:
+        """Advance the CU-time integrals to ``now`` (monotonic clock).
+
+        Must be called *before* the assign/release that lands at ``now``
+        so the elapsed interval is charged at the old occupancy.  Calls
+        at an unchanged timestamp are exact no-ops.
+        """
+        elapsed = now - self._last_tick
+        if elapsed <= 0.0:
+            return
+        if self._total:
+            self.assigned_cu_seconds += self._total * elapsed
+            self.busy_cu_seconds += self._busy * elapsed
+        self._last_tick = now
 
     def assign(self, mask: CUMask) -> None:
         """Record a kernel dispatched onto every CU in ``mask``."""
@@ -132,3 +159,45 @@ class CUKernelCounters:
     def peak_counts(self) -> list[int]:
         """Copy of the per-CU high-water marks (max residency ever seen)."""
         return list(self._peaks)
+
+    def audit(self) -> list[str]:
+        """Cross-check every maintained aggregate against a fresh rescan.
+
+        Returns human-readable violation strings (empty = consistent).
+        The maintained ``busy``/``total``/per-SE sums are integer-exact
+        by construction, so *any* drift here is a real bookkeeping bug.
+        """
+        violations: list[str] = []
+        counts = self._counts
+        limit = self.topology.max_kernels_per_cu
+        per_se = self.topology.cus_per_se
+        for cu, n in enumerate(counts):
+            if n < 0:
+                violations.append(f"counters: CU {cu} count {n} < 0")
+            elif n > limit:
+                violations.append(
+                    f"counters: CU {cu} count {n} exceeds width limit "
+                    f"{limit}")
+            if self._peaks[cu] < n:
+                violations.append(
+                    f"counters: CU {cu} peak {self._peaks[cu]} below "
+                    f"live count {n}")
+        busy = sum(1 for n in counts if n > 0)
+        if busy != self._busy:
+            violations.append(
+                f"counters: busy aggregate {self._busy} != rescan {busy}")
+        total = sum(counts)
+        if total != self._total:
+            violations.append(
+                f"counters: total aggregate {self._total} != rescan {total}")
+        for se in range(self.topology.num_se):
+            load = sum(counts[se * per_se:(se + 1) * per_se])
+            if load != self._se_loads[se]:
+                violations.append(
+                    f"counters: SE {se} load aggregate "
+                    f"{self._se_loads[se]} != rescan {load}")
+        if self.peak_busy_cus < busy:
+            violations.append(
+                f"counters: peak_busy_cus {self.peak_busy_cus} below "
+                f"live busy count {busy}")
+        return violations

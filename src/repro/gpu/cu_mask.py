@@ -132,15 +132,31 @@ class CUMask:
     def from_words(cls, topology: GpuTopology, words: Iterable[int],
                    word_bits: int = 32) -> "CUMask":
         """Inverse of :meth:`to_words`; validates word range and device
-        bounds (bits beyond ``total_cus`` are rejected, not dropped)."""
+        bounds (bits beyond ``total_cus`` are rejected, not dropped).
+
+        The device bound is checked per word so an imported trace with a
+        stray high bit — typically inside the *last* word, where the
+        encoding has slack beyond ``total_cus`` — is rejected with the
+        offending word and CU position named, never silently aliased
+        into a valid mask.
+        """
         if word_bits < 1:
             raise ValueError("word_bits must be >= 1")
+        total = topology.total_cus
         bits = 0
         for i, word in enumerate(words):
             if not 0 <= word < (1 << word_bits):
                 raise ValueError(
                     f"word {i} (0x{word:x}) out of {word_bits}-bit range")
-            bits |= word << (i * word_bits)
+            base = i * word_bits
+            allowed = max(0, total - base)
+            stray = word >> allowed
+            if stray:
+                position = base + allowed + stray.bit_length() - 1
+                raise ValueError(
+                    f"word {i} (0x{word:x}) sets CU {position}, outside "
+                    f"the {total}-CU device")
+            bits |= word << base
         return cls(topology, bits)
 
     # -- set algebra --------------------------------------------------------

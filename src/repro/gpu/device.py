@@ -36,6 +36,7 @@ KRISP's allocator reads) and the energy meter.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from functools import partial
@@ -121,6 +122,12 @@ class GpuDevice:
         self.record_trace = record_trace
         self.trace: list[KernelRecord] = []
         self.kernels_completed = 0
+        # Work-conservation ledger: Σ mask.count() × residency over every
+        # retired kernel.  Together with the live residents' partial work
+        # it must balance the counters' ``assigned_cu_seconds`` integral
+        # (the repro.check work-conservation invariant).  Pure
+        # accounting — never read by the rate model.
+        self.work_cu_seconds = 0.0
         self._running: dict[int, KernelRecord] = {}
         self._residents = self.counters.counts_view()
         self._total_demand = 0.0
@@ -176,6 +183,7 @@ class GpuDevice:
                 "empty CU mask"
             )
         self._advance_progress()
+        self.counters.tick(self.sim.now)
         self.counters.assign(mask)
         # Device bookkeeping is keyed by the per-device launch sequence
         # number (not the global launch_id): dirty sets of seq numbers
@@ -231,6 +239,7 @@ class GpuDevice:
         ``meter.energy_joules``.
         """
         self._advance_progress()
+        self.counters.tick(self.sim.now)
         self._commit_meter()
 
     # -- fault injection ----------------------------------------------------
@@ -495,6 +504,118 @@ class GpuDevice:
                     f"{record.eff_latency!r} != fresh {fresh!r}"
                 )
 
+    def resident_work_cu_seconds(self) -> float:
+        """CU-seconds accumulated so far by the still-running kernels."""
+        now = self.sim.now
+        return sum(record.mask.count() * (now - record.start_time)
+                   for record in self._running.values())
+
+    def audit_state(self) -> list[str]:
+        """Full structural self-audit at a quiescent point.
+
+        Cross-checks every incrementally maintained structure (the
+        CU→resident reverse index, the demand set, the occupied-CU meter
+        aggregates, the counters, the cached rates) against a fresh
+        rescan of the resident set, and balances the work-conservation
+        ledger.  Returns human-readable violation strings (empty =
+        consistent).  Safe to call at any time between events; does not
+        change any simulation state beyond advancing the counters' time
+        integrals to ``now``.
+        """
+        violations: list[str] = []
+        running = self._running
+        topo = self.topology
+
+        # Reverse index: CU -> resident seq numbers.
+        for cu in range(topo.total_cus):
+            expected = {seq for seq, rec in running.items()
+                        if rec.mask.has(cu)}
+            if self._cu_records[cu] != expected:
+                violations.append(
+                    f"device: CU {cu} reverse index "
+                    f"{sorted(self._cu_records[cu])} != resident rescan "
+                    f"{sorted(expected)}")
+
+        # Demand set: seq numbers with positive bandwidth demand.
+        expected_demand = {seq for seq, rec in running.items()
+                           if rec.demand > 0.0}
+        if self._demand_ids != expected_demand:
+            violations.append(
+                f"device: demand set {sorted(self._demand_ids)} != "
+                f"rescan {sorted(expected_demand)}")
+
+        # Counters vs the resident set (the Resource Monitor must agree
+        # with the device about who is where).
+        for cu in range(topo.total_cus):
+            resident = sum(1 for rec in running.values()
+                           if rec.mask.has(cu))
+            if self.counters.count(cu) != resident:
+                violations.append(
+                    f"device: CU {cu} counter {self.counters.count(cu)} "
+                    f"!= resident kernels {resident}")
+        violations.extend(self.counters.audit())
+
+        # Meter aggregates: occupied-CU shape of the resident set.
+        occupied = [0] * topo.num_se
+        for rec in running.values():
+            for se, n in enumerate(rec.occupied_per_se):
+                occupied[se] += n
+        if occupied != self._occupied_per_se:
+            violations.append(
+                f"device: occupied-per-SE aggregate "
+                f"{self._occupied_per_se} != rescan {occupied}")
+        busy = sum(min(n, topo.cus_per_se) for n in occupied)
+        active = sum(1 for n in occupied if n > 0)
+        if busy != self._busy_cus:
+            violations.append(
+                f"device: busy-CU aggregate {self._busy_cus} != "
+                f"rescan {busy}")
+        if active != self._active_ses:
+            violations.append(
+                f"device: active-SE aggregate {self._active_ses} != "
+                f"rescan {active}")
+
+        # Total bandwidth demand: float-summed incrementally, so allow
+        # accumulation noise; at idle it must be exactly zero (the
+        # _complete path resets it).
+        fresh_demand = sum(rec.demand for rec in running.values())
+        if not running:
+            if self._total_demand != 0.0:
+                violations.append(
+                    f"device: idle total demand {self._total_demand!r} "
+                    "!= 0.0")
+        elif not math.isclose(self._total_demand, fresh_demand,
+                              rel_tol=1e-9, abs_tol=1e-12):
+            violations.append(
+                f"device: total demand {self._total_demand!r} drifted "
+                f"from rescan {fresh_demand!r}")
+
+        # Per-record sanity: progress stays a fraction.
+        for seq, rec in running.items():
+            if not 0.0 <= rec.progress <= 1.0:
+                violations.append(
+                    f"device: kernel seq {seq} progress "
+                    f"{rec.progress!r} outside [0, 1]")
+
+        # The incremental path's rate contract.
+        try:
+            self.check_rate_invariant()
+        except AssertionError as exc:
+            violations.append(f"device: rate invariant: {exc}")
+
+        # Work conservation: the counters' CU-time integral must balance
+        # the per-kernel ledger (retired work + live partial work).  The
+        # two sides sum the same piecewise-constant integral in different
+        # orders, so compare with a relative tolerance.
+        self.counters.tick(self.sim.now)
+        ledger = self.work_cu_seconds + self.resident_work_cu_seconds()
+        integral = self.counters.assigned_cu_seconds
+        if not math.isclose(integral, ledger, rel_tol=1e-6, abs_tol=1e-9):
+            violations.append(
+                f"device: work conservation broken — counters integral "
+                f"{integral!r} CU-s != kernel ledger {ledger!r} CU-s")
+        return violations
+
     def _complete(self, seq_no: int) -> None:
         record = self._running.get(seq_no)
         if record is None:
@@ -504,6 +625,9 @@ class GpuDevice:
         record.last_update = self.sim.now
         record.end_time = self.sim.now
         del self._running[seq_no]
+        self.work_cu_seconds += (
+            record.mask.count() * (record.end_time - record.start_time))
+        self.counters.tick(self.sim.now)
         self.counters.release(record.mask)
         cu_records = self._cu_records
         for cu in record.mask.cu_tuple:

@@ -174,7 +174,21 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping per the text-format spec (version 0.0.4).
+
+    Order matters: the backslash must be doubled *first*, or the
+    backslashes introduced for quotes/newlines would themselves be
+    re-escaped.  Label values escape all three of backslash, quote, and
+    newline.
+    """
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    """HELP-text escaping: backslash and newline only (quotes stay raw
+    in HELP lines per the spec), backslash first for the same reason as
+    :func:`_escape`."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_labels(labels: LabelKey, extra: Iterable[tuple[str, str]] = ()
@@ -291,7 +305,7 @@ class MetricsRegistry:
         lines: list[str] = []
         for name, family in sorted(self._families.items()):
             if family.help:
-                lines.append(f"# HELP {name} {family.help}")
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
             for key, series in sorted(family.series.items()):
                 if family.kind == "histogram":

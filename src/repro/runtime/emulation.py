@@ -90,7 +90,14 @@ class EmulatedKernelScopedStream:
         sizer: Optional[RightSizer] = None,
         config: Optional[EmulationConfig] = None,
         name: str = "",
+        record_masks: bool = False,
     ) -> None:
+        """``record_masks=True`` appends every mask actually applied to
+        the queue (at IOCTL retirement, in application order) to
+        :attr:`masks_applied` — the audit subsystem's evidence that each
+        kernel ran strictly inside its queue's mask.  Off by default:
+        long serving runs would otherwise accumulate one entry per
+        launch."""
         self.runtime = runtime
         self.allocator = allocator
         self.sizer = sizer
@@ -99,6 +106,8 @@ class EmulatedKernelScopedStream:
         self.queue = runtime.create_queue(name=f"{self.name}.queue")
         self.kernels_launched = 0
         self.barriers_injected = 0
+        self.record_masks = record_masks
+        self.masks_applied: list[CUMask] = []
         self._last_completion: Optional[Signal] = None
 
     def launch_kernel(
@@ -122,8 +131,13 @@ class EmulatedKernelScopedStream:
                 tracer = self.runtime.sim.tracer
                 if tracer.enabled:
                     tracer.mask_decision(launch, mask, self.runtime.device)
+                def applied() -> None:
+                    if self.record_masks:
+                        self.masks_applied.append(mask)
+                    mask_set.fire(mask)
+
                 self.runtime.set_queue_cu_mask(
-                    self.queue, mask, on_done=lambda: mask_set.fire(mask)
+                    self.queue, mask, on_done=applied
                 )
 
             delay = (self.config.callback_overhead

@@ -178,6 +178,7 @@ def run_experiment(
     faults=None,
     guard: Optional[SloGuard] = None,
     stats_out: Optional[dict] = None,
+    audit=None,
 ) -> ExperimentResult:
     """Run one co-location cell and return its measurements.
 
@@ -185,6 +186,14 @@ def run_experiment(
     ``events_executed`` and final ``sim_time`` — for harnesses (the
     bench CLI) that need them; the measurement payload itself stays
     byte-stable.
+
+    ``audit`` (a callable taking ``(setup, injector)``) is invoked once
+    after the run completes, with the live :class:`ServingSetup` and the
+    :class:`~repro.faults.injector.FaultInjector` (or ``None``), so the
+    audit subsystem (:mod:`repro.check`) can inspect end-of-run state —
+    queues, workers, device structures — that the result payload does
+    not carry.  Observation only: it runs after every measurement is
+    already fixed and has no effect on the returned result.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records the request/kernel/
     mask-decision timeline; ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
@@ -235,6 +244,8 @@ def run_experiment(
     if stats_out is not None:
         stats_out["events_executed"] = sim.events_executed
         stats_out["sim_time"] = sim.now
+    if audit is not None:
+        audit(setup, injector)
 
     faulted = guard is not None or injector is not None
     window = end - warmup

@@ -16,7 +16,7 @@ __all__ = ["percentile", "geomean", "LatencyStats", "BoxplotStats"]
 def _nearest_rank(ordered: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile of an already-sorted sample set."""
     if not ordered:
-        raise ValueError("no samples")
+        raise ValueError("percentile of an empty sample set")
     if not 0 < pct <= 100:
         raise ValueError(f"pct={pct} out of (0, 100]")
     rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
@@ -24,7 +24,14 @@ def _nearest_rank(ordered: Sequence[float], pct: float) -> float:
 
 
 def percentile(samples: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile; ``pct`` in (0, 100]."""
+    """Nearest-rank percentile; ``pct`` in (0, 100].
+
+    Both argument errors raise ``ValueError`` with a clear message —
+    and are validated *before* the sort, so a bad ``pct`` fails fast
+    instead of paying O(n log n) first.
+    """
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct={pct} out of (0, 100]")
     return _nearest_rank(sorted(samples), pct)
 
 

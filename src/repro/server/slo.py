@@ -32,6 +32,18 @@ from typing import Any, Optional
 __all__ = ["SloGuard", "ResilienceStats"]
 
 
+def _known_fields(cls, payload: dict[str, Any]) -> dict[str, Any]:
+    """``payload`` filtered to ``cls``'s dataclass fields.
+
+    Forward compatibility for the ``from_dict`` constructors: a payload
+    written by a future schema (extra counters, new policy knobs) loads
+    cleanly instead of raising ``TypeError``; the unknown keys are
+    uniformly ignored.
+    """
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {key: value for key, value in payload.items() if key in known}
+
+
 @dataclass(frozen=True)
 class SloGuard:
     """Admission/deadline/retry policy for one serving run.
@@ -65,8 +77,8 @@ class SloGuard:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "SloGuard":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**payload)
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        return cls(**_known_fields(cls, payload))
 
 
 @dataclass(frozen=True)
@@ -108,5 +120,5 @@ class ResilienceStats:
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "ResilienceStats":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**payload)
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        return cls(**_known_fields(cls, payload))

@@ -121,6 +121,17 @@ class Worker:
         """Kernels per request (sizes the restart reload cost)."""
         return sum(len(burst) for burst, _gap in self.segments)
 
+    @property
+    def in_flight(self) -> Optional[InferenceRequest]:
+        """The request currently being served, if any.
+
+        Public read-only view for the request-accounting audit
+        (:func:`repro.check.invariants.request_conservation`): a popped
+        request is either completed, deadline-shed, orphaned by a crash,
+        or still here.
+        """
+        return self._current
+
     def crash(self) -> Optional[InferenceRequest]:
         """Kill the worker now; returns its orphaned in-flight request.
 

@@ -1,0 +1,98 @@
+"""Tests for the conservation-law audit primitives (repro/check)."""
+
+import pytest
+
+from repro.check import (
+    request_conservation,
+    run_device_program,
+    run_mask_program,
+)
+from repro.core.allocation import DistributionPolicy
+from repro.server.experiment import ExperimentConfig, run_experiment
+
+
+@pytest.mark.parametrize("policy", list(DistributionPolicy))
+def test_mask_program_clean_across_policies(policy):
+    assert run_mask_program(seed=11, iterations=150, policy=policy) == []
+
+
+@pytest.mark.parametrize("overlap_limit,reshape",
+                         [(0, True), (8, False), (None, False)])
+def test_mask_program_clean_across_limits(overlap_limit, reshape):
+    assert run_mask_program(seed=5, iterations=150,
+                            overlap_limit=overlap_limit,
+                            reshape=reshape) == []
+
+
+@pytest.mark.parametrize("full_recompute", [False, True])
+def test_device_program_clean_in_both_modes(full_recompute):
+    assert run_device_program(seed=2, steps=100,
+                              full_recompute=full_recompute) == []
+
+
+def test_audit_hook_sees_clean_end_state():
+    """A real run passes both the device self-audit and the
+    request-conservation identity, and every worker exposes its
+    in-flight request through the public property."""
+    observed = []
+
+    def audit(setup, injector):
+        observed.append(setup.device.audit_state())
+        observed.append(request_conservation(setup, injector))
+        for worker in setup.workers:
+            assert (worker.in_flight is None
+                    or worker.in_flight.arrival_time >= 0)
+
+    run_experiment(
+        ExperimentConfig(("squeezenet", "shufflenet"), policy="krisp-i",
+                         requests_scale=0.1, seed=4),
+        audit=audit,
+    )
+    assert observed != [] and all(v == [] for v in observed)
+
+
+class _Queue:
+    def __init__(self, enqueued, pending=0):
+        self.enqueued = enqueued
+        self._pending = pending
+
+    def __len__(self):
+        return self._pending
+
+
+class _Worker:
+    def __init__(self, completed=0, shed_deadline=0, in_flight=None):
+        class _Stats:
+            pass
+
+        self.stats = _Stats()
+        self.stats.completed = [object()] * completed
+        self.stats.shed_deadline = shed_deadline
+        self.in_flight = in_flight
+
+
+class _Setup:
+    def __init__(self, queues, workers):
+        self.queues = queues
+        self.workers = workers
+
+
+def test_request_conservation_reports_imbalance():
+    setup = _Setup([_Queue(enqueued=5, pending=1)],
+                   [_Worker(completed=2, in_flight=object())])
+    violations = request_conservation(setup)
+    assert len(violations) == 1
+    assert "enqueued 5" in violations[0]
+    # Balancing the ledger clears the violation.
+    setup.queues[0].enqueued = 4
+    assert request_conservation(setup) == []
+
+
+def test_request_conservation_counts_injector_retries():
+    class _Injector:
+        retried = 2
+        shed_retries = 1
+
+    setup = _Setup([_Queue(enqueued=7)], [_Worker(completed=4)])
+    assert request_conservation(setup, _Injector()) == []
+    assert request_conservation(setup) != []

@@ -209,3 +209,18 @@ def test_resilience_stats_roundtrip():
     assert ResilienceStats.from_dict(stats.to_dict()) == stats
     assert stats.shed == 6
     assert dataclasses.asdict(stats) == stats.to_dict()
+
+
+def test_from_dict_ignores_unknown_keys():
+    """Payloads from newer writers (extra fields) still load: both
+    serialisable guard-rail types filter to their known fields."""
+    guard = SloGuard(admission_depth=8, deadline=0.25, max_retries=2)
+    payload = guard.to_dict()
+    payload["future_knob"] = 42
+    payload["another"] = {"nested": True}
+    assert SloGuard.from_dict(payload) == guard
+
+    stats = ResilienceStats(shed_admission=3, retried=4, goodput_rps=9.5)
+    stats_payload = stats.to_dict()
+    stats_payload["not_a_field"] = "ignored"
+    assert ResilienceStats.from_dict(stats_payload) == stats

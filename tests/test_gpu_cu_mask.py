@@ -95,3 +95,38 @@ def test_invert_is_involution(cus):
     mask = CUMask.from_cus(TOPO, cus)
     assert mask.invert().invert() == mask
     assert mask.union(mask.invert()) == CUMask.all_cus(TOPO)
+
+
+@given(cu_sets, st.sampled_from([8, 16, 32, 64]))
+def test_to_words_round_trips(cus, word_bits):
+    mask = CUMask.from_cus(TOPO, cus)
+    words = mask.to_words(word_bits)
+    assert CUMask.from_words(TOPO, words, word_bits) == mask
+
+
+def test_from_words_rejects_bits_beyond_device():
+    # CU 60 on a 60-CU device lives in word 1 of the 32-bit encoding,
+    # inside the encoding's slack; it must be rejected, not dropped.
+    with pytest.raises(ValueError, match="CU 60"):
+        CUMask.from_words(TOPO, [0, 1 << 28])
+    # A whole extra word beyond the device is equally invalid.
+    with pytest.raises(ValueError, match="CU 64"):
+        CUMask.from_words(TOPO, [0, 0, 1])
+    # The highest stray bit is the one named.
+    with pytest.raises(ValueError, match="CU 63"):
+        CUMask.from_words(TOPO, [0, 0b1111 << 28])
+
+
+def test_from_words_rejects_out_of_range_words():
+    with pytest.raises(ValueError, match="out of 32-bit range"):
+        CUMask.from_words(TOPO, [1 << 32])
+    with pytest.raises(ValueError, match="out of 32-bit range"):
+        CUMask.from_words(TOPO, [-1])
+    with pytest.raises(ValueError):
+        CUMask.from_words(TOPO, [1], word_bits=0)
+
+
+def test_from_words_accepts_full_last_word_up_to_device_bound():
+    # All 28 legal bits of the last 32-bit word (CUs 32..59).
+    words = CUMask.all_cus(TOPO).to_words(32)
+    assert CUMask.from_words(TOPO, words) == CUMask.all_cus(TOPO)

@@ -195,3 +195,20 @@ def test_run_sweep_records_cache_metrics(tmp_path, monkeypatch):
     assert warm.counter("sweep_cache_hits_total").value == 1
     assert warm.counter("sweep_cache_misses_total").value == 0
     assert warm.histogram("sweep_cell_seconds").count == 0
+
+
+def test_prometheus_escaping_golden():
+    """Golden output for the text-format escaping rules (spec 0.0.4):
+    label values escape backslash, quote, and newline (backslash first);
+    HELP text escapes backslash and newline but leaves quotes raw."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "weird_total", 'help with \\ backslash, "quotes"\nand newline',
+        path='C:\\tmp\n"x"').inc()
+    text = registry.to_prometheus()
+    assert text == (
+        '# HELP weird_total help with \\\\ backslash, "quotes"'
+        '\\nand newline\n'
+        '# TYPE weird_total counter\n'
+        'weird_total{path="C:\\\\tmp\\n\\"x\\""} 1\n'
+    )

@@ -29,12 +29,32 @@ def test_percentile_nearest_rank():
 
 
 def test_percentile_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="empty sample set"):
         percentile([], 95)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match=r"out of \(0, 100\]"):
         percentile([1.0], 0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match=r"out of \(0, 100\]"):
         percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -5)
+    # A bad pct fails fast even when the samples are empty too.
+    with pytest.raises(ValueError, match=r"out of \(0, 100\]"):
+        percentile([], 0)
+
+
+def test_percentile_nearest_rank_edges():
+    samples = [10.0, 20.0, 30.0, 40.0]
+    # pct just above 0 clamps to the first rank, never rank 0.
+    assert percentile(samples, 1e-9) == 10.0
+    assert percentile(samples, 25) == 10.0
+    # Nearest-rank rounds up: 26% of 4 samples -> rank 2.
+    assert percentile(samples, 26) == 20.0
+    assert percentile(samples, 100) == 40.0
+    # Single sample answers every pct.
+    assert percentile([7.0], 1e-9) == 7.0
+    assert percentile([7.0], 100) == 7.0
+    # Unsorted input is sorted, not trusted.
+    assert percentile([40.0, 10.0, 30.0, 20.0], 50) == 20.0
 
 
 def test_geomean():
