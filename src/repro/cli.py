@@ -9,6 +9,9 @@ be explored without writing code:
   p95 vs SLO, and energy per inference under a chosen policy.
 * ``table3`` — regenerate the Table III workload characterisation.
 * ``rate MODEL --rps N`` — open-loop serving at a fixed request rate.
+* ``load SPEC.yaml`` — a latency-vs-offered-rate curve over a workload
+  spec (Poisson/bursty/diurnal/trace arrivals, LLM phases), cached and
+  parallelisable point-by-point.
 * ``sweep [MODEL...]`` — a whole co-location grid (models x policies x
   worker counts) fanned out over a process pool with result caching.
 * ``trace MODEL [MODEL...]`` — run one cell with full tracing and write
@@ -107,6 +110,72 @@ def _cmd_rate(args: argparse.Namespace) -> int:
     print(f"saturated: {'yes' if result.saturated else 'no'} "
           f"(queue residue {result.queue_residue})")
     return 1 if result.saturated else 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.exp.load import run_load_curve
+    from repro.server.slo import SloGuard
+    from repro.workload import load_workload
+
+    spec = load_workload(args.spec)
+    models = tuple(spec.models())
+    names = models * args.workers if len(models) == 1 \
+        else tuple(m for m in models for _ in range(args.workers))
+    config = ExperimentConfig(
+        model_names=names, policy=args.policy,
+        batch_size=spec.request_batch_size(), seed=args.seed)
+
+    guard = None
+    if args.deadline is not None or args.admission is not None:
+        guard = SloGuard(
+            deadline=(args.deadline * 1e-3 if args.deadline is not None
+                      else None),
+            admission_depth=args.admission)
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"\r[{done}/{total}] {label:<32}", end="", file=sys.stderr,
+              flush=True)
+
+    report = run_load_curve(
+        config, spec,
+        rates=tuple(args.rates) if args.rates else None,
+        scales=tuple(args.scales),
+        duration=args.duration, guard=guard, jobs=args.jobs,
+        use_cache=not args.no_cache, progress=progress)
+    print(file=sys.stderr)
+
+    print(report.to_text())
+    knee = report.knee_rps()
+    print(f"\nspec rate {spec.offered_rps():.0f} rps over "
+          f"{'+'.join(models)} ({args.workers} worker(s)/model, "
+          f"batch {config.batch_size})")
+    print("knee (p95 within 3x of lightest point): "
+          + (f"{knee:.0f} rps" if knee is not None else "below first point"))
+    if report.cache_hits:
+        print(f"cache: {report.cache_hits}/{len(report.points)} points "
+              "served from the rate store")
+
+    if args.json_out:
+        import json
+        from pathlib import Path
+
+        from repro.exp.cache import fingerprint
+
+        payload = {
+            "schema": 1,
+            "config": {"model_names": list(config.model_names),
+                       "policy": config.policy,
+                       "batch_size": config.batch_size,
+                       "seed": config.seed},
+            "constants": fingerprint(),
+            "duration": report.duration,
+            "workload": spec.to_dict(),
+            "rows": report.to_rows(),
+        }
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {len(report.points)} points to {args.json_out}")
+    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -386,6 +455,37 @@ def build_parser() -> argparse.ArgumentParser:
     rate.add_argument("--batch", type=int, default=32)
     rate.add_argument("--duration", type=float, default=2.0)
     rate.set_defaults(func=_cmd_rate)
+
+    load = sub.add_parser(
+        "load", help="latency-vs-rate curve over a YAML workload spec")
+    load.add_argument("spec", help="workload spec path (.yaml or .json)")
+    load.add_argument("--workers", "-n", type=int, default=2,
+                      help="workers per distinct model in the spec")
+    load.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                      default="krisp-i")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--scales", nargs="+", type=float,
+                      default=[0.25, 0.5, 0.75, 1.0, 1.25, 1.5],
+                      help="offered-rate multiples of the spec's native "
+                           "rate")
+    load.add_argument("--rates", nargs="+", type=float, default=None,
+                      help="absolute offered rates in rps (overrides "
+                           "--scales)")
+    load.add_argument("--duration", type=float, default=None,
+                      help="sim seconds per point (default: 40x the "
+                           "slowest SLO target)")
+    load.add_argument("--deadline", type=float, default=None,
+                      help="SLO deadline in ms (enables shedding + "
+                           "goodput accounting)")
+    load.add_argument("--admission", type=int, default=None,
+                      help="bound each queue to this depth")
+    load.add_argument("--jobs", "-j", type=int, default=1,
+                      help="process-pool size for the points (1 = serial)")
+    load.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk rate-result cache")
+    load.add_argument("--json-out", default=None,
+                      help="write the curve (deterministic JSON) here")
+    load.set_defaults(func=_cmd_load)
 
     sweep = sub.add_parser(
         "sweep", help="run a co-location grid in parallel with caching")

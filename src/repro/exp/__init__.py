@@ -13,17 +13,27 @@ This package exploits that shape twice over:
   fans independent cells out over a process pool with per-cell
   retry-on-failure and a structured report;
 * :mod:`repro.exp.chaos` — policy × fault-scenario resilience grids
-  scored against each policy's fault-free baseline.
+  scored against each policy's fault-free baseline;
+* :mod:`repro.exp.load` — latency-vs-offered-rate curves over
+  :mod:`repro.workload` specs, cached point-by-point through the rate
+  store.
 """
 
 from repro.exp.cache import (
     CacheStats,
     JsonStore,
+    RateResultCache,
     ResultCache,
     cache_key,
     cached_run_experiment,
+    cached_run_rate_experiment,
     default_cache,
+    default_rate_cache,
     fingerprint,
+    rate_cache_key,
+    rate_result_from_dict,
+    rate_result_hash,
+    rate_result_to_dict,
 )
 from repro.exp.chaos import (
     CHAOS_SCENARIOS,
@@ -31,6 +41,12 @@ from repro.exp.chaos import (
     ChaosReport,
     build_scenario,
     run_chaos,
+)
+from repro.exp.load import (
+    DEFAULT_SCALES,
+    LoadCurveReport,
+    LoadPoint,
+    run_load_curve,
 )
 from repro.exp.sweep import (
     CellFailure,
@@ -43,11 +59,22 @@ from repro.exp.sweep import (
 __all__ = [
     "CacheStats",
     "JsonStore",
+    "RateResultCache",
     "ResultCache",
     "cache_key",
     "cached_run_experiment",
+    "cached_run_rate_experiment",
     "default_cache",
+    "default_rate_cache",
     "fingerprint",
+    "rate_cache_key",
+    "rate_result_from_dict",
+    "rate_result_hash",
+    "rate_result_to_dict",
+    "DEFAULT_SCALES",
+    "LoadCurveReport",
+    "LoadPoint",
+    "run_load_curve",
     "CHAOS_SCENARIOS",
     "ChaosCell",
     "ChaosReport",

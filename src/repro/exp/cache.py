@@ -48,11 +48,18 @@ from repro.server.slo import ResilienceStats, SloGuard
 __all__ = [
     "CacheStats",
     "JsonStore",
+    "RateResultCache",
     "ResultCache",
     "cache_key",
     "cached_run_experiment",
+    "cached_run_rate_experiment",
     "default_cache",
+    "default_rate_cache",
     "fingerprint",
+    "rate_cache_key",
+    "rate_result_from_dict",
+    "rate_result_hash",
+    "rate_result_to_dict",
     "result_hash",
 ]
 
@@ -359,6 +366,194 @@ class ResultCache:
             self.stats.stores += 1
         except OSError:
             pass
+
+
+# -- open-loop (rate/workload) results ---------------------------------------
+
+def rate_cache_key(config: ExperimentConfig, offered_rps: float,
+                   duration: float,
+                   constants: Optional[dict[str, Any]] = None,
+                   workload=None, faults=None,
+                   guard: Optional[SloGuard] = None) -> str:
+    """Stable content hash of one open-loop run's inputs.
+
+    ``workload`` (a :mod:`repro.workload` spec), ``faults``, and
+    ``guard`` are folded in **only when given** — the
+    :func:`cache_key` convention — so plain Poisson keys are unaffected
+    by the workload layer.  ``duration`` must be the *actual* run
+    length (resolve defaults via :func:`~repro.server.rate_experiment
+    .default_rate_duration` before keying).
+    """
+    payload: dict[str, Any] = {
+        "kind": "rate",
+        "config": config_to_dict(config),
+        "constants": constants if constants is not None else fingerprint(),
+        "offered_rps": offered_rps,
+        "duration": duration,
+    }
+    if workload is not None:
+        payload["workload"] = workload.to_dict()
+    if faults is not None:
+        payload["faults"] = faults.to_dict()
+    if guard is not None:
+        payload["guard"] = guard.to_dict()
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def rate_result_to_dict(result) -> dict[str, Any]:
+    """JSON-native form of one :class:`~repro.server.rate_experiment
+    .RateResult` (floats survive bit-exactly; the ``resilience`` block
+    appears only on guarded/fault-injected runs)."""
+    payload: dict[str, Any] = {
+        "offered_rps": result.offered_rps,
+        "achieved_rps": result.achieved_rps,
+        "latency": dataclasses.asdict(result.latency),
+        "queue_residue": result.queue_residue,
+    }
+    if result.resilience is not None:
+        payload["resilience"] = result.resilience.to_dict()
+    return payload
+
+
+def rate_result_from_dict(payload: dict[str, Any]):
+    """Inverse of :func:`rate_result_to_dict`."""
+    from repro.server.rate_experiment import RateResult
+    return RateResult(
+        offered_rps=payload["offered_rps"],
+        achieved_rps=payload["achieved_rps"],
+        latency=LatencyStats(**payload["latency"]),
+        queue_residue=payload["queue_residue"],
+        resilience=(ResilienceStats.from_dict(payload["resilience"])
+                    if "resilience" in payload else None),
+    )
+
+
+def rate_result_hash(result) -> str:
+    """Content hash of one rate result's canonical JSON payload."""
+    canonical = json.dumps(
+        rate_result_to_dict(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class RateResultCache:
+    """Content-addressed store of open-loop results, one file per run,
+    under ``<root>/rate/`` (disjoint from the closed-loop store)."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self._root = root
+        self.stats = CacheStats()
+
+    def root(self) -> Path:
+        return self._root if self._root is not None else cache_root()
+
+    def path_for(self, key: str) -> Path:
+        return self.root() / "rate" / f"{key}.json"
+
+    def get(self, key: str):
+        """Cached result under ``key``, or ``None`` on any miss."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        try:
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not an object")
+            result = rate_result_from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            logger.warning("discarding corrupt rate cache entry %s", path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result,
+            context: Optional[dict[str, Any]] = None) -> None:
+        """Best-effort store; ``context`` records the keyed inputs for
+        humans inspecting the file (it is not re-validated on read —
+        the key is already a content hash of those inputs)."""
+        payload: dict[str, Any] = {
+            "constants": fingerprint(),
+            "result": rate_result_to_dict(result),
+        }
+        if context:
+            payload.update(context)
+        try:
+            _atomic_write_text(
+                self.path_for(key),
+                json.dumps(payload, indent=2, sort_keys=True))
+            self.stats.stores += 1
+        except OSError:
+            pass
+
+
+_DEFAULT_RATE_CACHE = RateResultCache()
+
+
+def default_rate_cache() -> RateResultCache:
+    """The process-wide rate-result cache (follows ``REPRO_CACHE_DIR``)."""
+    return _DEFAULT_RATE_CACHE
+
+
+def cached_run_rate_experiment(
+    config: ExperimentConfig,
+    offered_rps: Optional[float] = None,
+    duration: Optional[float] = None,
+    *,
+    workload=None,
+    faults=None,
+    guard: Optional[SloGuard] = None,
+    cache: Optional[RateResultCache] = None,
+):
+    """:func:`~repro.server.rate_experiment.run_rate_experiment`
+    through the rate-result cache.
+
+    The key pins the resolved offered rate and duration plus — only
+    when given — the workload spec, fault schedule, and guard, so two
+    distinct specs can never alias one cache entry.
+    """
+    from repro.server.rate_experiment import (
+        default_rate_duration, run_rate_experiment)
+
+    if workload is not None and offered_rps is None:
+        offered_rps = workload.offered_rps()
+    if offered_rps is None or offered_rps <= 0:
+        raise ValueError("offered_rps must be > 0")
+    if duration is None:
+        duration = default_rate_duration(config)
+    store = cache if cache is not None else default_rate_cache()
+    key = rate_cache_key(config, offered_rps, duration,
+                         workload=workload, faults=faults, guard=guard)
+    result = store.get(key)
+    if result is None:
+        result = run_rate_experiment(
+            config, offered_rps, duration, workload=workload,
+            faults=faults, guard=guard)
+        context: dict[str, Any] = {
+            "config": config_to_dict(config),
+            "offered_rps": offered_rps,
+            "duration": duration,
+        }
+        if workload is not None:
+            context["workload"] = workload.to_dict()
+        if faults is not None:
+            context["faults"] = faults.to_dict()
+        if guard is not None:
+            context["guard"] = guard.to_dict()
+        store.put(key, result, context=context)
+    return result
 
 
 _DEFAULT_CACHE = ResultCache()

@@ -20,17 +20,25 @@ measured by the profiler against the simulator, never hardcoded.
 """
 
 from repro.models.zoo import (
+    ALL_MODEL_NAMES,
+    LLM_MODEL_NAMES,
     MODEL_NAMES,
     TABLE_III,
+    LlmModelSpec,
     ModelSpec,
     get_model,
+    llm_segments,
     vector_mul_kernel,
 )
 
 __all__ = [
+    "ALL_MODEL_NAMES",
+    "LLM_MODEL_NAMES",
     "MODEL_NAMES",
     "TABLE_III",
+    "LlmModelSpec",
     "ModelSpec",
     "get_model",
+    "llm_segments",
     "vector_mul_kernel",
 ]

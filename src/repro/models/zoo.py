@@ -41,10 +41,13 @@ from repro.models.kernels import (
 __all__ = [
     "KernelSpec",
     "ModelSpec",
+    "LlmModelSpec",
     "MODEL_NAMES",
     "ALL_MODEL_NAMES",
+    "LLM_MODEL_NAMES",
     "TABLE_III",
     "get_model",
+    "llm_segments",
     "vector_mul_kernel",
 ]
 
@@ -547,6 +550,87 @@ def _mobilenet() -> list[KernelSpec]:
     return trace
 
 
+# -- LLM-phase models (KernelSight-LM shape) --------------------------------
+# Generative LLM serving has two kernel-level phases: *prefill* processes
+# the whole prompt in compute-bound GEMMs (high minCU — right-sizing
+# should give these most of the GPU), while *decode* emits one token per
+# pass through bandwidth-bound GEMV/attention-read kernels (low minCU —
+# they tolerate tight partitions).  Per-phase minCU right-sizing falls
+# out of the existing kernel profiler; the decode block repeats once per
+# output token, with a sync gap after the sampling kernel (the host
+# samples the next token between passes).  Decode kernel names are
+# stable across tokens, so one perf DB covers every output length.
+
+def _llm_tiny() -> tuple[list[KernelSpec], list[KernelSpec], int]:
+    """A CI-sized chat model: 6 prefill + 4 decode kernels/token."""
+    us = 1e-6
+    prefill = [
+        S("embedLookupKernel", 6, 20 * us, mb=8),
+        C("Cijk_Ailk_Bljk_SB_MT128x128_qkv_prefill", 52, 250 * us,
+          flat=0.35, mem=0.25, mb=24),
+        F("flashAttentionFwd_prefill", 120 * us, flat=0.5, mb=16),
+        C("Cijk_Ailk_Bljk_SB_MT128x128_attnout_prefill", 48, 180 * us,
+          flat=0.35, mb=16),
+        C("Cijk_Ailk_Bljk_SB_MT128x128_ffn1_prefill", 52, 350 * us,
+          flat=0.35, mb=48),
+        C("Cijk_Ailk_Bljk_SB_MT128x128_ffn2_prefill", 52, 350 * us,
+          flat=0.35, mb=48, gap=40 * us),
+    ]
+    decode = [
+        S("gemvKernel_qkv_decode", 6, 40 * us, mb=24),
+        G("pagedAttentionKernel_decode", 8, 50 * us, mb=32),
+        S("gemvKernel_ffn_decode", 6, 60 * us, mb=48),
+        S("sampleTokenKernel", 4, 10 * us, mb=1, gap=20 * us),
+    ]
+    return prefill, decode, 4
+
+
+def _llm_8b() -> tuple[list[KernelSpec], list[KernelSpec], int]:
+    """An 8B-class model: 4 transformer layers of prefill GEMMs + a
+    6-kernel decode pass per output token."""
+    us = 1e-6
+    prefill: list[KernelSpec] = [S("embedLookupKernel", 6, 30 * us, mb=16)]
+    for layer in range(4):
+        prefill += [
+            C(f"Cijk_Ailk_Bljk_SB_MT128x128_l{layer}_qkv_prefill", 54,
+              400 * us, flat=0.35, mem=0.25, mb=36),
+            F(f"flashAttentionFwd_l{layer}_prefill", 200 * us,
+              flat=0.5, mb=24),
+            C(f"Cijk_Ailk_Bljk_SB_MT128x128_l{layer}_attnout_prefill", 48,
+              300 * us, flat=0.35, mb=24),
+            C(f"Cijk_Ailk_Bljk_SB_MT128x128_l{layer}_ffn1_prefill", 54,
+              600 * us, flat=0.35, mb=64),
+            C(f"Cijk_Ailk_Bljk_SB_MT128x128_l{layer}_ffn2_prefill", 54,
+              600 * us, flat=0.35, mb=64),
+            S("MIOpenLayerNormFwd", 6, 30 * us, mb=12),
+        ]
+    prefill += [
+        S("MIOpenLayerNormFwd", 6, 30 * us, mb=12),
+        C("Cijk_Ailk_Bljk_SB_MT128x128_lmhead_prefill", 50, 500 * us,
+          flat=0.35, mb=52, gap=50 * us),
+    ]
+    decode = [
+        S("gemvKernel_qkv_decode", 6, 50 * us, mb=36),
+        G("pagedAttentionKernel_decode", 8, 80 * us, mb=48),
+        S("gemvKernel_attnout_decode", 6, 40 * us, mb=24),
+        S("gemvKernel_ffn1_decode", 6, 80 * us, mb=64),
+        S("gemvKernel_ffn2_decode", 6, 80 * us, mb=64),
+        S("sampleTokenKernel", 4, 12 * us, mb=1, gap=25 * us),
+    ]
+    return prefill, decode, 16
+
+
+#: LLM-phase models, in a registry separate from the Table III zoo so
+#: the paper benchmarks (which iterate MODEL_NAMES / ALL_MODEL_NAMES)
+#: never pick them up.
+LLM_MODEL_NAMES: tuple[str, ...] = ("llm-tiny", "llm-8b")
+
+_LLM_BUILDERS = {
+    "llm-tiny": _llm_tiny,
+    "llm-8b": _llm_8b,
+}
+
+
 _BUILDERS = {
     "albert": _albert,
     "alexnet": _alexnet,
@@ -612,12 +696,79 @@ class ModelSpec:
         return len(self.specs)
 
 
+@dataclass(frozen=True)
+class LlmModelSpec(ModelSpec):
+    """An LLM-serving model: a prefill phase plus a per-token decode
+    phase (KernelSight-LM's two-phase kernel shape).
+
+    ``specs`` holds the default-length pass (``prefill + decode *
+    default_output_tokens``) so every :class:`ModelSpec` consumer —
+    tracing, profiling, the serving perf DB — works unchanged;
+    :meth:`segments_for_output` rebuilds the pass for a per-request
+    output length.  Decode kernel names repeat across tokens, so a perf
+    DB built from the default trace covers every output length.
+    """
+
+    prefill: tuple[KernelSpec, ...] = ()
+    decode: tuple[KernelSpec, ...] = ()
+    default_output_tokens: int = 1
+
+    def specs_for_output(
+            self, output_tokens: int | None = None) -> tuple[KernelSpec, ...]:
+        """Kernel templates of one pass emitting ``output_tokens``."""
+        tokens = self.default_output_tokens if output_tokens is None \
+            else output_tokens
+        if tokens < 1:
+            raise ValueError("output_tokens must be >= 1")
+        return self.prefill + self.decode * tokens
+
+    def segments_for_output(
+        self, batch_size: int = 32, output_tokens: int | None = None,
+        topology: GpuTopology = _MI50,
+    ) -> list[tuple[list[KernelDescriptor], float]]:
+        """(burst, gap) segments of a pass emitting ``output_tokens``.
+
+        The decode block's trailing sync gap (host-side token sampling)
+        splits the pass into one segment per token after the prefill
+        burst, so workers interleave naturally at token granularity.
+        """
+        pass_spec = ModelSpec(name=self.name,
+                              specs=self.specs_for_output(output_tokens))
+        return pass_spec.segments(batch_size, topology)
+
+
+@lru_cache(maxsize=4096)
+def llm_segments(name: str, batch_size: int,
+                 output_tokens: int | None = None):
+    """Cached, immutable segments for one (model, batch, output length).
+
+    The serving path calls this once per request; the cache makes
+    variable-output-length serving as cheap as the static-segment path.
+    """
+    model = get_model(name)
+    if not isinstance(model, LlmModelSpec):
+        raise TypeError(f"{name!r} is not an LLM-phase model")
+    segments = model.segments_for_output(batch_size, output_tokens)
+    return tuple((tuple(burst), gap) for burst, gap in segments)
+
+
 @lru_cache(maxsize=None)
 def get_model(name: str) -> ModelSpec:
-    """Look up a model by its paper name."""
+    """Look up a model by its paper name (or LLM registry name)."""
+    if name in _LLM_BUILDERS:
+        prefill, decode, tokens = _LLM_BUILDERS[name]()
+        prefill, decode = tuple(prefill), tuple(decode)
+        return LlmModelSpec(
+            name=name,
+            specs=prefill + decode * tokens,
+            prefill=prefill,
+            decode=decode,
+            default_output_tokens=tokens,
+        )
     if name not in _BUILDERS:
         raise KeyError(
-            f"unknown model {name!r}; available: {sorted(_BUILDERS)}"
+            f"unknown model {name!r}; available: "
+            f"{sorted(_BUILDERS) + sorted(_LLM_BUILDERS)}"
         )
     paper = TABLE_III.get(name, (0, 0, 0.0))
     return ModelSpec(

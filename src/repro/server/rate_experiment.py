@@ -16,7 +16,8 @@ from repro.server.experiment import ExperimentConfig, slo_target
 from repro.server.metrics import LatencyStats
 from repro.server.slo import ResilienceStats, SloGuard
 
-__all__ = ["RateResult", "run_rate_experiment", "max_sustainable_rate"]
+__all__ = ["RateResult", "default_rate_duration", "run_rate_experiment",
+           "max_sustainable_rate"]
 
 
 @dataclass(frozen=True)
@@ -41,43 +42,101 @@ class RateResult:
         return self.queue_residue > 2
 
 
+def default_rate_duration(config: ExperimentConfig) -> float:
+    """Default open-loop run length for ``config``.
+
+    40x the slowest co-located model's SLO target, floored at one
+    second — long enough for queueing to reach (or visibly diverge
+    from) steady state.  Exposed so the load-curve cache can pin the
+    actual duration into its key.
+    """
+    base = max(slo_target(name, config.batch_size)
+               for name in config.model_names)
+    return max(1.0, 40 * base)
+
+
 def run_rate_experiment(
     config: ExperimentConfig,
-    offered_rps: float,
+    offered_rps: Optional[float] = None,
     duration: Optional[float] = None,
     *,
+    workload=None,
     tracer=None,
     metrics=None,
     sample_interval: float = 250e-6,
     faults=None,
     guard: Optional[SloGuard] = None,
 ) -> RateResult:
-    """Drive the deployment with Poisson arrivals at ``offered_rps``.
+    """Drive the deployment open-loop and measure end-to-end latency.
 
-    All workers share one request queue (any worker may serve any
+    With only ``offered_rps`` given, arrivals are Poisson at that rate:
+    all workers share one request queue (any worker may serve any
     request), matching the paper's frontend/queue/worker architecture.
     Requests arrive in batches of ``config.batch_size``, so the arrival
     rate of batches is ``offered_rps / batch_size``.
 
-    ``tracer``, ``metrics``, ``sample_interval``, ``faults``, and
-    ``guard`` mirror :func:`repro.server.experiment.run_experiment`
-    exactly (the aligned keyword surface).
+    Parameters
+    ----------
+    offered_rps:
+        Offered load in requests per second.  Optional when
+        ``workload`` is given (it then defaults to the spec's
+        ``offered_rps()``); passing both pins the RNG fork label to the
+        explicit rate, which the Poisson-equivalence tests rely on.
+    duration:
+        Run length in sim seconds; defaults to
+        :func:`default_rate_duration`.
+    workload:
+        A :mod:`repro.workload` spec.  Replaces the Poisson client with
+        the spec's arrival process and request mix via
+        :meth:`~repro.server.setup.ServingSetup.add_workload`.  A
+        homogeneous Poisson spec at the same rate is bit-identical to
+        the legacy path.  Every class's ``batch_size`` must equal
+        ``config.batch_size`` (the throughput accounting assumes one).
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer`; when given, requests,
+        kernels, and queue depths are traced (pure observation — the
+        result is unchanged).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; when given, a
+        sim-clock sampler records occupancy/queue-depth series.
+    sample_interval:
+        The sampler period in sim seconds (only used with ``metrics``).
+    faults:
+        A :class:`~repro.faults.FaultSchedule` to inject during the run.
+    guard:
+        An :class:`~repro.server.slo.SloGuard`; enables admission
+        control, deadline shedding, and bounded retry, and makes the
+        result carry :class:`~repro.server.slo.ResilienceStats`.
+
+    ``tracer``/``metrics``/``sample_interval``/``faults``/``guard``
+    mirror :func:`repro.server.experiment.run_experiment` (the aligned
+    keyword surface).
     """
     from repro.server.setup import ServingSetup
 
-    if offered_rps <= 0:
+    if workload is not None:
+        mismatched = sorted({c.batch_size
+                             for c in workload.request_classes()}
+                            - {config.batch_size})
+        if mismatched:
+            raise ValueError(
+                f"workload class batch sizes {mismatched} differ from "
+                f"config.batch_size={config.batch_size}")
+        if offered_rps is None:
+            offered_rps = workload.offered_rps()
+    if offered_rps is None or offered_rps <= 0:
         raise ValueError("offered_rps must be > 0")
     setup = ServingSetup.build(config, rng_label=f"rate/{offered_rps}",
                                tracer=tracer, guard=guard)
     sim = setup.sim
 
     if duration is None:
-        base = max(slo_target(name, config.batch_size)
-                   for name in config.model_names)
-        duration = max(1.0, 40 * base)
+        duration = default_rate_duration(config)
 
-    setup.add_open_loop(offered_rps, stop_time=duration)
-    queue = setup.queues[0]
+    if workload is None:
+        setup.add_open_loop(offered_rps, stop_time=duration)
+    else:
+        setup.add_workload(workload, stop_time=duration)
 
     injector = None
     if faults is not None and len(faults):
@@ -109,7 +168,7 @@ def run_rate_experiment(
         achieved_rps=completed * config.batch_size / duration,
         latency=(LatencyStats.from_samples(latencies) if latencies
                  else LatencyStats.empty()),
-        queue_residue=len(queue),
+        queue_residue=sum(len(q) for q in setup.queues),
         resilience=resilience,
     )
 

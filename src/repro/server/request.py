@@ -37,6 +37,10 @@ class InferenceRequest:
     injected: bool = False
     #: Set when the request was dropped by a guard rail instead of served.
     shed: bool = False
+    #: Decode tokens to emit, for LLM-phase models with variable output
+    #: lengths; ``None`` uses the model's default (and is the only value
+    #: non-LLM requests carry).
+    output_tokens: Optional[int] = None
 
     @property
     def latency(self) -> float:

@@ -99,11 +99,14 @@ class ServingSetup:
         return queue
 
     def add_worker(self, index: int, queue: RequestQueue, *,
-                   stop_time: float, on_complete=None) -> Worker:
+                   stop_time: float, on_complete=None,
+                   segments_for=None) -> Worker:
         """Worker ``index`` over its plan/stream, on ``queue``.
 
         Names follow the historical scheme (``worker-{i}`` processes,
         ``host-{i}`` RNG streams) so seeded runs reproduce exactly.
+        ``segments_for`` optionally overrides the static plan segments
+        per request (LLM variable output lengths).
         """
         plan = self.plans[index]
         worker = Worker(
@@ -117,6 +120,7 @@ class ServingSetup:
             stop_time=stop_time,
             on_complete=on_complete,
             guard=self.guard,
+            segments_for=segments_for,
         )
         self.workers.append(worker)
         return worker
@@ -148,6 +152,68 @@ class ServingSetup:
         self.clients.append(client)
         for index in range(len(self.plans)):
             self.add_worker(index, queue, stop_time=stop_time)
+        return client
+
+    @staticmethod
+    def _segments_fn(plan: WorkerPlan):
+        """Per-request segment override for LLM plans (else ``None``)."""
+        from repro.models.zoo import LlmModelSpec, llm_segments
+        if not isinstance(plan.model, LlmModelSpec):
+            return None
+        name, batch = plan.model.name, plan.batch_size
+
+        def segments_for(request):
+            return llm_segments(name, batch, request.output_tokens)
+        return segments_for
+
+    def add_workload(self, spec, *, stop_time: float):
+        """Queues + workload client + all workers for a workload spec.
+
+        Single-model specs reproduce the historical open-loop wiring
+        exactly — one ``shared`` queue served by every worker, arrival
+        gaps drawn from the ``arrivals`` stream — so a homogeneous
+        Poisson spec is bit-identical to :meth:`add_open_loop` at the
+        same rate.  Multi-model specs route each class to a per-model
+        ``wl-{model}`` queue served by that model's workers (a worker
+        only ever runs its own plan's kernels); workers of a configured
+        model the spec never sends traffic to idle on an ``idle-{model}``
+        queue.
+        """
+        from repro.workload.client import WorkloadClient
+
+        classes = spec.request_classes()
+        configured = {plan.model.name for plan in self.plans}
+        missing = sorted({c.model for c in classes} - configured)
+        if missing:
+            raise ValueError(
+                f"workload models {missing} are not in "
+                f"config.model_names {sorted(configured)}")
+        # Legacy-identical wiring (one shared queue, every worker) only
+        # when the whole deployment serves the spec's single model —
+        # otherwise a worker would run its own plan's kernels against
+        # another model's requests.
+        single = (len({c.model for c in classes}) == 1
+                  and all(plan.model.name == classes[0].model
+                          for plan in self.plans))
+        queue_for: dict[str, RequestQueue] = {}
+        for cls in classes:
+            if cls.model not in queue_for:
+                name = "shared" if single else f"wl-{cls.model}"
+                queue_for[cls.model] = self.new_queue(
+                    name, cls.model, cls.batch_size)
+        client = WorkloadClient(self.sim, spec, queues=queue_for,
+                                rng=self.rng, stop_time=stop_time)
+        self.clients.append(client)
+        for index, plan in enumerate(self.plans):
+            if single:
+                queue = next(iter(queue_for.values()))
+            elif plan.model.name in queue_for:
+                queue = queue_for[plan.model.name]
+            else:
+                queue = self.new_queue(f"idle-{plan.model.name}",
+                                       plan.model.name, plan.batch_size)
+            self.add_worker(index, queue, stop_time=stop_time,
+                            segments_for=self._segments_fn(plan))
         return client
 
     def start_sampler(self, metrics, sample_interval: float,

@@ -95,6 +95,8 @@ class Worker:
         stop_time: float = float("inf"),
         on_complete: Optional["Callable[[InferenceRequest], None]"] = None,
         guard: Optional[SloGuard] = None,
+        segments_for: Optional[
+            "Callable[[InferenceRequest], Sequence]"] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -106,6 +108,9 @@ class Worker:
         self.stop_time = stop_time
         self.on_complete = on_complete
         self.guard = guard
+        #: Per-request segment override (LLM variable output lengths);
+        #: ``None`` serves the static ``segments`` for every request.
+        self.segments_for = segments_for
         self.stats = WorkerStats()
         self.crashed = False
         self.crashes = 0
@@ -200,7 +205,9 @@ class Worker:
             yield costs.draw(costs.pre_mean, self.rng)
             if self._epoch != epoch:
                 return
-            for burst, gap in self.segments:
+            segments = self.segments if self.segments_for is None \
+                else self.segments_for(request)
+            for burst, gap in segments:
                 for desc in burst:
                     self.stream.launch_kernel(desc, tag=self.name)
                 yield self.stream.synchronize_signal()

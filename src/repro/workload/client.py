@@ -1,0 +1,130 @@
+"""The workload client: compiles a spec into sim-clock request injection.
+
+One client per serving cell.  For generative arrival processes it runs a
+``workload-client`` process whose loop is the historical
+:class:`~repro.server.frontend.PoissonClient` loop verbatim — draw one
+gap from the ``arrivals`` RNG stream, sleep, emit — so a homogeneous
+Poisson spec at rate ``r`` is bit-identical to ``add_open_loop`` at the
+same rate.  Heterogeneous mixes draw the request class from a *separate*
+``workload-mix`` stream and LLM output lengths from ``workload-lengths``,
+keeping the arrival gaps themselves invariant across mix changes.
+
+Trace replay (a :class:`~repro.workload.spec.TraceWorkloadSpec`, or any
+spec whose arrivals are a :class:`~repro.workload.arrivals
+.TraceArrivals`) schedules each emission at its *absolute* timestamp, so
+the injected arrival times reproduce the input trace exactly instead of
+re-accumulating float gaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.server.request import InferenceRequest, RequestQueue
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+from repro.workload.arrivals import TraceArrivals
+from repro.workload.spec import TraceWorkloadSpec, WorkloadSpec
+
+__all__ = ["WorkloadClient"]
+
+
+class WorkloadClient:
+    """Open-loop request injection for one workload spec.
+
+    ``queues`` maps each class model to its request queue (one shared
+    queue for single-model specs, per-model queues otherwise).  Arrivals
+    rejected by admission control are simply lost — the queue counts
+    them as shed and the next arrival is drawn regardless, preserving
+    the offered rate (open-loop semantics).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: WorkloadSpec,
+        queues: dict[str, RequestQueue],
+        rng: RngRegistry,
+        stop_time: float,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.queues = queues
+        self.stop_time = stop_time
+        self.issued = 0
+        self.issued_per_model: dict[str, int] = {}
+        #: Injected arrival timestamps, for trace-replay verification.
+        self.arrival_times: list[float] = []
+        self.process: Optional[Process] = None
+
+        if isinstance(spec, TraceWorkloadSpec):
+            for entry in spec.entries:
+                if entry.time >= stop_time:
+                    continue
+                sim.schedule(entry.time, lambda e=entry: self._emit(
+                    e.model, e.batch_size, e.output_tokens))
+            return
+
+        classes = spec.request_classes()
+        self._classes = classes
+        self._arrivals_rng = rng.stream("arrivals")
+        self._mix_rng = rng.stream("workload-mix") \
+            if len(classes) > 1 else None
+        self._total_weight = sum(c.weight for c in classes)
+        self._lengths_rng = rng.stream("workload-lengths") \
+            if any(c.output_tokens is not None for c in classes) else None
+
+        if isinstance(spec.arrivals, TraceArrivals):
+            # Absolute-time replay: exact input timestamps.
+            for t in spec.arrivals.times:
+                if t >= stop_time:
+                    continue
+                sim.schedule(t, self._emit_drawn_class)
+        else:
+            self.process = Process(sim, self._run(), name="workload-client")
+
+    # -- generative arrivals ------------------------------------------------
+    def _run(self) -> Iterator:
+        for gap in self.spec.arrivals.gaps(self._arrivals_rng):
+            yield gap
+            if self.sim.now >= self.stop_time:
+                return
+            self._emit_drawn_class()
+
+    def _draw_class(self) -> int:
+        if self._mix_rng is None:
+            return 0
+        draw = float(self._mix_rng.random()) * self._total_weight
+        acc = 0.0
+        for index, cls in enumerate(self._classes):
+            acc += cls.weight
+            if draw < acc:
+                return index
+        return len(self._classes) - 1
+
+    def _emit_drawn_class(self) -> None:
+        cls = self._classes[self._draw_class()]
+        tokens: Optional[int] = None
+        if cls.output_tokens is not None:
+            lo, hi = cls.output_tokens
+            tokens = int(self._lengths_rng.integers(lo, hi + 1))
+        self._emit(cls.model, cls.batch_size, tokens)
+
+    # -- emission -----------------------------------------------------------
+    def _emit(self, model: str, batch_size: int,
+              output_tokens: Optional[int]) -> None:
+        request = InferenceRequest(
+            model_name=model,
+            batch_size=batch_size,
+            arrival_time=self.sim.now,
+            output_tokens=output_tokens,
+        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.request_arrival(request)
+        self.queues[model].offer(request)
+        self.issued += 1
+        self.issued_per_model[model] = \
+            self.issued_per_model.get(model, 0) + 1
+        self.arrival_times.append(request.arrival_time)

@@ -1,0 +1,140 @@
+"""Tests for the LLM-phase model zoo extension (repro.models.zoo).
+
+The contract: LLM models live in their own registry (the Table III zoo
+is untouched), carry an explicit prefill/decode phase split, rebuild
+their kernel pass for any output length, and show the KernelSight-LM
+phase asymmetry — compute-bound prefill kernels needing most of the GPU,
+bandwidth-bound decode kernels right-sizing to a handful of CUs.
+"""
+
+import pytest
+
+from repro.gpu.cu_mask import CUMask
+from repro.gpu.topology import GpuTopology
+from repro.models.zoo import (
+    ALL_MODEL_NAMES,
+    LLM_MODEL_NAMES,
+    MODEL_NAMES,
+    LlmModelSpec,
+    get_model,
+    llm_segments,
+)
+from repro.profiling.model_profiler import kernel_mincu_trace, run_inference_once
+
+TOPO = GpuTopology.mi50()
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_llm_registry_is_disjoint_from_table3_zoo():
+    assert LLM_MODEL_NAMES == ("llm-tiny", "llm-8b")
+    for name in LLM_MODEL_NAMES:
+        assert name not in MODEL_NAMES
+        assert name not in ALL_MODEL_NAMES  # benchmarks iterate these
+
+
+@pytest.mark.parametrize("name", LLM_MODEL_NAMES)
+def test_get_model_returns_llm_spec(name):
+    model = get_model(name)
+    assert isinstance(model, LlmModelSpec)
+    assert model.prefill and model.decode
+    assert model.default_output_tokens >= 1
+    # The default pass is exactly prefill + decode * default tokens.
+    assert model.specs == (model.prefill
+                          + model.decode * model.default_output_tokens)
+    assert model.kernel_count == (
+        len(model.prefill)
+        + len(model.decode) * model.default_output_tokens)
+
+
+def test_unknown_model_error_mentions_llm_registry():
+    with pytest.raises(KeyError, match="llm-tiny"):
+        get_model("llm-70b")
+
+
+# -- output-length rebuilding ------------------------------------------------
+
+@pytest.mark.parametrize("name", LLM_MODEL_NAMES)
+def test_specs_for_output_scales_with_tokens(name):
+    model = get_model(name)
+    for tokens in (1, 3, 9):
+        specs = model.specs_for_output(tokens)
+        assert len(specs) == len(model.prefill) + tokens * len(model.decode)
+    assert model.specs_for_output() == model.specs  # default length
+
+
+def test_specs_for_output_rejects_nonpositive_tokens():
+    model = get_model("llm-tiny")
+    with pytest.raises(ValueError):
+        model.specs_for_output(0)
+
+
+@pytest.mark.parametrize("name", LLM_MODEL_NAMES)
+def test_one_segment_per_decode_token(name):
+    """The decode block's trailing sync gap (host token sampling) splits
+    the pass into prefill + one segment per token."""
+    model = get_model(name)
+    for tokens in (1, 4, 7):
+        segments = model.segments_for_output(8, tokens)
+        assert len(segments) == 1 + tokens
+
+
+def test_llm_segments_is_cached_and_immutable():
+    a = llm_segments("llm-tiny", 8, 5)
+    b = llm_segments("llm-tiny", 8, 5)
+    assert a is b  # lru_cache identity: serving reuses one object
+    assert isinstance(a, tuple)
+    assert all(isinstance(burst, tuple) for burst, _gap in a)
+    assert llm_segments("llm-tiny", 8, 6) is not a
+
+
+def test_llm_segments_rejects_non_llm_models():
+    with pytest.raises(TypeError):
+        llm_segments("squeezenet", 32, 4)
+
+
+@pytest.mark.parametrize("name", LLM_MODEL_NAMES)
+def test_longer_outputs_take_longer(name):
+    model = get_model(name)
+
+    def isolated(tokens):
+        specs = model.specs_for_output(tokens)
+        trace = [s.build(8 / 32.0, TOPO) for s in specs]
+        return run_inference_once(trace, CUMask.all_cus(TOPO))
+
+    lat1, lat4, lat16 = isolated(1), isolated(4), isolated(16)
+    assert lat1 < lat4 < lat16
+    # Decode dominates long outputs: latency grows roughly linearly.
+    assert lat16 - lat4 > 2 * (lat4 - lat1)
+
+
+# -- the phase asymmetry the right-sizer exploits ----------------------------
+
+@pytest.mark.parametrize("name", LLM_MODEL_NAMES)
+def test_prefill_and_decode_right_size_differently(name):
+    model = get_model(name)
+    mins = kernel_mincu_trace(model, batch_size=32)
+    n_prefill = len(model.prefill)
+    prefill_mins = mins[:n_prefill]
+    decode_mins = mins[n_prefill:n_prefill + len(model.decode)]
+    # Prefill is compute-bound: its big GEMMs need most of the GPU.
+    assert max(prefill_mins) >= 48
+    # Decode is bandwidth-bound: every kernel runs on a sliver.
+    assert max(decode_mins) <= 12
+    # The asymmetry is what per-phase right-sizing exploits.
+    assert max(prefill_mins) >= 4 * max(decode_mins)
+
+
+def test_decode_mincus_do_not_scale_with_batch():
+    """Decode kernels are streaming (bandwidth-bound): their minCU stays
+    flat across batch sizes, unlike prefill compute kernels."""
+    model = get_model("llm-tiny")
+    n_decode = len(model.decode)
+    mins_32 = kernel_mincu_trace(model, batch_size=32)
+    mins_8 = kernel_mincu_trace(model, batch_size=8)
+    n_prefill = len(model.prefill)
+    for m32, m8 in zip(mins_32[n_prefill:n_prefill + n_decode],
+                       mins_8[n_prefill:n_prefill + n_decode]):
+        assert abs(m32 - m8) <= 1  # flat up to measurement granularity
+    # ... while at least one prefill compute kernel shrank with batch.
+    assert min(mins_8[:n_prefill]) < max(mins_32[:n_prefill])
