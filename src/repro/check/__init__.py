@@ -11,6 +11,7 @@ all of them on demand — ``krisp-repro check`` — and self-tests the
 checkers by seeding deliberate faults (``--mutate-smoke``).
 """
 
+from repro.check.attribution import check_attribution_conservation
 from repro.check.invariants import (
     MaskLawChecker,
     request_conservation,
@@ -32,6 +33,7 @@ __all__ = [
     "DEFAULT_SCENARIOS",
     "MaskLawChecker",
     "available_checks",
+    "check_attribution_conservation",
     "request_conservation",
     "run_checks",
     "run_device_program",

@@ -26,6 +26,7 @@ import time
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.bench.scenarios import SCENARIOS
+from repro.check.attribution import check_attribution_conservation
 from repro.check.differential import (
     check_cache_replay,
     check_experiment_invariants,
@@ -80,6 +81,7 @@ def _global_checks() -> list[tuple[str, CheckFn]]:
         ("emulation-correction", check_emulation_correction),
         ("mask-growth", check_mask_growth),
         ("overlap-limit-law", check_overlap_limit_law),
+        ("attribution-conservation", check_attribution_conservation),
     ]
 
 

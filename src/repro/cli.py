@@ -18,6 +18,9 @@ be explored without writing code:
   a Perfetto-loadable Chrome trace plus a metrics summary.
 * ``chaos MODEL [MODEL...]`` — a policy × fault-scenario resilience grid
   with SLO guard rails, reporting goodput and p95 deltas vs fault-free.
+* ``report MODEL [MODEL...]`` — run one cell under the flight recorder
+  and emit a latency-attribution + SLO burn-rate report (deterministic
+  JSON and human-readable markdown), with an exact conservation audit.
 """
 
 from __future__ import annotations
@@ -141,7 +144,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         rates=tuple(args.rates) if args.rates else None,
         scales=tuple(args.scales),
         duration=args.duration, guard=guard, jobs=args.jobs,
-        use_cache=not args.no_cache, progress=progress)
+        use_cache=not args.no_cache, progress=progress,
+        attribute=args.attribute)
     print(file=sys.stderr)
 
     print(report.to_text())
@@ -154,6 +158,27 @@ def _cmd_load(args: argparse.Namespace) -> int:
     if report.cache_hits:
         print(f"cache: {report.cache_hits}/{len(report.points)} points "
               "served from the rate store")
+
+    if args.metrics_out:
+        from pathlib import Path
+
+        from repro.obs.attribution import export_attribution_metrics
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.metrics import MetricsRegistry
+
+        probe_rate = args.metrics_rate if args.metrics_rate is not None \
+            else report.points[-1].offered_rps
+        registry = MetricsRegistry()
+        recorder = FlightRecorder()
+        run_rate_experiment(
+            config, probe_rate, report.duration,
+            workload=spec.at_rate(probe_rate), guard=guard,
+            metrics=registry, recorder=recorder)
+        exported = export_attribution_metrics(recorder.flights(), registry)
+        Path(args.metrics_out).write_text(registry.to_prometheus())
+        print(f"wrote {len(registry)} metric series "
+              f"({exported} attribution series) for the "
+              f"{probe_rate:.0f} rps point to {args.metrics_out}")
 
     if args.json_out:
         import json
@@ -326,6 +351,113 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+    from fractions import Fraction
+    from pathlib import Path
+
+    from repro.exp.cache import fingerprint
+    from repro.obs.attribution import (
+        decompose,
+        render_markdown_report,
+        summarize,
+    )
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.slo_report import build_slo_report
+    from repro.server.experiment import measurement_window
+    from repro.server.slo import SloGuard
+
+    names = tuple(args.models) * args.workers if len(args.models) == 1 \
+        else tuple(args.models)
+    config = ExperimentConfig(
+        model_names=names, policy=args.policy, batch_size=args.batch,
+        seed=args.seed, requests_scale=args.scale)
+
+    guard = None
+    if (args.deadline is not None or args.admission is not None
+            or args.retries is not None):
+        kwargs = {}
+        if args.deadline is not None:
+            kwargs["deadline"] = args.deadline * 1e-3
+        if args.admission is not None:
+            kwargs["admission_depth"] = args.admission
+        if args.retries is not None:
+            kwargs["max_retries"] = args.retries
+        guard = SloGuard(**kwargs)
+
+    faults = None
+    if args.faults:
+        from repro.exp.chaos import build_scenario
+        faults = build_scenario(args.faults, config)
+
+    recorder = FlightRecorder()
+    result = run_experiment(config, recorder=recorder, faults=faults,
+                            guard=guard)
+
+    warmup, end = measurement_window(config)
+    flights = recorder.flights()
+    attribution = summarize(flights, window=(warmup, end))
+    slo = build_slo_report(flights, objective=args.objective,
+                           span=(warmup, end), window_count=8)
+
+    # Conservation audit: every completed flight must decompose into
+    # components that sum *exactly* (Fraction arithmetic, no tolerance)
+    # to its end-to-end latency.
+    audited = 0
+    exact = True
+    for flight in flights:
+        if not flight.completed:
+            continue
+        try:
+            parts = decompose(flight)
+        except ValueError:
+            exact = False
+            continue
+        audited += 1
+        total = sum(parts.values(), Fraction(0))
+        if total != (Fraction(flight.completion_time)
+                     - Fraction(flight.arrival_time)):
+            exact = False
+
+    payload = {
+        "schema": 1,
+        "config": {"model_names": list(names),
+                   "policy": config.policy,
+                   "batch_size": config.batch_size,
+                   "seed": config.seed,
+                   "requests_scale": config.requests_scale},
+        "constants": fingerprint(),
+        "faults": args.faults,
+        "result": {
+            "total_rps": result.total_rps,
+            "goodput_rps": result.goodput_rps,
+            "max_p95_ms": result.max_p95() * 1e3,
+            "energy_per_request_j": result.energy_per_request,
+            "window_s": result.window,
+        },
+        "attribution": attribution,
+        "slo": slo,
+        "conservation": {"requests": audited, "exact": exact},
+    }
+
+    markdown = render_markdown_report(payload)
+    print(markdown)
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote report JSON to {args.json_out}")
+    if args.md_out:
+        Path(args.md_out).write_text(markdown + "\n")
+        print(f"wrote report markdown to {args.md_out}")
+
+    if not exact:
+        print("CONSERVATION VIOLATED: attribution components do not sum "
+              "to end-to-end latency", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -485,6 +617,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bypass the on-disk rate-result cache")
     load.add_argument("--json-out", default=None,
                       help="write the curve (deterministic JSON) here")
+    load.add_argument("--attribute", action="store_true",
+                      help="attach a latency-attribution summary to every "
+                           "point (runs points live, serially)")
+    load.add_argument("--metrics-out", default=None,
+                      help="re-run one rate point under the sampler + "
+                           "flight recorder and write Prometheus text "
+                           "metrics here")
+    load.add_argument("--metrics-rate", type=float, default=None,
+                      help="offered rate for --metrics-out (default: the "
+                           "heaviest point)")
     load.set_defaults(func=_cmd_load)
 
     sweep = sub.add_parser(
@@ -561,6 +703,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run one fault-injected cell under the "
                             "tracer and write a Chrome trace here")
     chaos.set_defaults(func=_cmd_chaos)
+
+    report = sub.add_parser(
+        "report", help="latency-attribution + SLO burn-rate report for "
+                       "one cell")
+    report.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
+    report.add_argument("--workers", "-n", type=int, default=2,
+                        help="replicas when a single model is given")
+    report.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                        default="krisp-i")
+    report.add_argument("--batch", type=int, default=32)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--scale", type=float, default=1.0,
+                        help="measurement-window scale (requests_scale)")
+    report.add_argument("--faults", choices=["crash", "straggler",
+                                             "bandwidth", "storm",
+                                             "dropout", "mixed"],
+                        default=None,
+                        help="inject a chaos fault scenario during the run")
+    report.add_argument("--deadline", type=float, default=None,
+                        help="SLO guard deadline in ms (enables shedding)")
+    report.add_argument("--admission", type=int, default=None,
+                        help="bound each queue to this depth")
+    report.add_argument("--retries", type=int, default=None,
+                        help="crash-retry budget per request")
+    report.add_argument("--objective", type=float, default=0.95,
+                        help="SLO attainment objective for burn-rate "
+                             "accounting (default 0.95)")
+    report.add_argument("--json-out", default=None,
+                        help="write the deterministic report JSON here")
+    report.add_argument("--md-out", default=None,
+                        help="write the markdown report here")
+    report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(
         "bench", help="time the pinned simulator benchmark scenarios")

@@ -52,9 +52,18 @@ class LoadPoint:
     queue_residue: int
     saturated: bool
     latency: LatencyStats
+    #: Shed breakdown and retry churn (0 on unguarded, fault-free runs).
+    shed_admission: int = 0
+    shed_deadline: int = 0
+    retried: int = 0
+    #: Latency-attribution summary (:func:`repro.obs.attribution
+    #: .summarize` payload) — only populated by ``attribute=True`` runs;
+    #: never enters the rate cache, so cached payloads stay byte-stable.
+    attribution: Optional[dict] = None
 
 
-def _to_point(offered_rps: float, result: RateResult) -> LoadPoint:
+def _to_point(offered_rps: float, result: RateResult,
+              attribution: Optional[dict] = None) -> LoadPoint:
     resilience = result.resilience
     return LoadPoint(
         offered_rps=offered_rps,
@@ -65,6 +74,12 @@ def _to_point(offered_rps: float, result: RateResult) -> LoadPoint:
         queue_residue=result.queue_residue,
         saturated=result.saturated,
         latency=result.latency,
+        shed_admission=(resilience.shed_admission
+                        if resilience is not None else 0),
+        shed_deadline=(resilience.shed_deadline
+                       if resilience is not None else 0),
+        retried=resilience.retried if resilience is not None else 0,
+        attribution=attribution,
     )
 
 
@@ -79,21 +94,34 @@ class LoadCurveReport:
     cache_hits: int = 0
 
     def to_rows(self) -> list[dict[str, Any]]:
-        """JSON-native rows, one per point, in offered-rate order."""
-        return [
-            {
+        """JSON-native rows, one per point, in offered-rate order.
+
+        Rows always carry the shed breakdown and retry counts; the
+        ``attribution``/``diagnosis`` keys appear only on curves run
+        with ``attribute=True`` so plain-curve exports stay unchanged
+        modulo the new integer columns.
+        """
+        rows = []
+        for p in self.points:
+            row = {
                 "offered_rps": p.offered_rps,
                 "achieved_rps": p.achieved_rps,
                 "goodput_rps": p.goodput_rps,
                 "shed": p.shed,
+                "shed_admission": p.shed_admission,
+                "shed_deadline": p.shed_deadline,
+                "retried": p.retried,
                 "queue_residue": p.queue_residue,
                 "saturated": p.saturated,
                 "p50_ms": p.latency.p50 * 1e3,
                 "p95_ms": p.latency.p95 * 1e3,
                 "p999_ms": p.latency.p999 * 1e3,
             }
-            for p in self.points
-        ]
+            if p.attribution is not None:
+                row["attribution"] = p.attribution
+                row["diagnosis"] = p.attribution.get("diagnosis")
+            rows.append(row)
+        return rows
 
     def knee_rps(self, factor: float = 3.0) -> Optional[float]:
         """Highest offered rate whose p95 stays within ``factor`` of the
@@ -109,6 +137,24 @@ class LoadCurveReport:
             knee = point.offered_rps
         return knee
 
+    def knee_diagnosis(self, factor: float = 3.0) -> Optional[str]:
+        """What the first post-knee point's tail latency is made of.
+
+        Returns the :func:`~repro.obs.attribution.diagnose` label
+        (``queueing-dominated`` / ``contention-dominated`` /
+        ``service-dominated``) of the first point past the knee — the
+        point whose blow-up defines the curve's capacity — falling back
+        to the heaviest point when nothing blew up.  ``None`` unless
+        the curve was run with ``attribute=True``.
+        """
+        knee = self.knee_rps(factor)
+        past = [p for p in self.points
+                if knee is None or p.offered_rps > knee]
+        probe = past[0] if past else self.points[-1] if self.points else None
+        if probe is None or probe.attribution is None:
+            return None
+        return probe.attribution.get("diagnosis")
+
     def to_text(self) -> str:
         from repro.analysis.tables import format_table
         rows = [
@@ -118,12 +164,23 @@ class LoadCurveReport:
              p.shed, "yes" if p.saturated else "no"]
             for p in self.points
         ]
-        return format_table(
+        table = format_table(
             ["offered rps", "achieved", "goodput", "p50 (ms)", "p95 (ms)",
              "p999 (ms)", "shed", "saturated"],
             rows,
             title=f"load curve over {len(self.points)} rates "
                   f"({self.duration:.2f} s per point)")
+        lines = [table]
+        if any(p.attribution is not None for p in self.points):
+            for p in self.points:
+                if p.attribution is None:
+                    continue
+                lines.append(f"  {p.offered_rps:.0f} rps: "
+                             f"{p.attribution.get('diagnosis')}")
+            diagnosis = self.knee_diagnosis()
+            if diagnosis is not None:
+                lines.append(f"knee diagnosis: {diagnosis}")
+        return "\n".join(lines)
 
 
 def _run_point(config: ExperimentConfig, offered_rps: float,
@@ -153,6 +210,7 @@ def run_load_curve(
     use_cache: bool = True,
     cache: Optional[RateResultCache] = None,
     progress: Optional[Callable[[int, int, str], None]] = None,
+    attribute: bool = False,
 ) -> LoadCurveReport:
     """Sweep ``workload`` across offered rates into a load curve.
 
@@ -163,6 +221,14 @@ def run_load_curve(
     :func:`~repro.server.rate_experiment.default_rate_duration`), so
     points differ only in offered load.  ``jobs > 1`` fans cache misses
     out over a process pool; results are bit-identical to serial.
+
+    ``attribute=True`` attaches a latency-attribution summary
+    (:func:`repro.obs.attribution.summarize`) to every point, labelling
+    each — and in particular the knee — queueing- vs contention-
+    dominated.  Attribution needs live flights, so every point then runs
+    locally with a :class:`~repro.obs.flight.FlightRecorder` (cache
+    reads and the process pool are bypassed; results are still written
+    back, and are bit-identical — recording is pure observation).
     """
     if rates is None:
         base = workload.offered_rps()
@@ -181,8 +247,9 @@ def run_load_curve(
             for rate in rates}
 
     results: dict[float, RateResult] = {}
+    attributions: dict[float, dict] = {}
     cache_hits = 0
-    if use_cache:
+    if use_cache and not attribute:
         for rate in rates:
             hit = store.get(keys[rate])
             if hit is not None:
@@ -214,7 +281,24 @@ def run_load_curve(
         if progress:
             progress(done, total, f"{rate:.0f} rps")
 
-    if todo:
+    if todo and attribute:
+        from repro.obs.attribution import summarize
+        from repro.obs.flight import FlightRecorder
+        for rate in todo:
+            recorder = FlightRecorder()
+            try:
+                result = run_rate_experiment(
+                    config, rate, duration, workload=specs[rate],
+                    faults=faults, guard=guard, recorder=recorder)
+            except Exception as exc:  # noqa: BLE001 - mirror _run_point
+                import traceback
+                record(rate, None,
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+                continue
+            attributions[rate] = summarize(recorder.flights())
+            record(rate, result, None)
+    elif todo:
         if jobs > 1 and len(todo) > 1:
             with ProcessPoolExecutor(
                     max_workers=min(jobs, len(todo))) as pool:
@@ -236,7 +320,8 @@ def run_load_curve(
         raise RuntimeError(
             "load-curve points failed:\n" + "\n".join(failures))
 
-    points = tuple(_to_point(rate, results[rate]) for rate in rates)
+    points = tuple(_to_point(rate, results[rate], attributions.get(rate))
+                   for rate in rates)
     return LoadCurveReport(config=config, workload=workload,
                            duration=duration, points=points,
                            cache_hits=cache_hits)

@@ -1,4 +1,4 @@
-"""Unified observability layer: tracing, metrics, and sim-time sampling.
+"""Unified observability layer: tracing, metrics, sampling, attribution.
 
 * :mod:`repro.obs.tracer` — typed spans/instants/counters/flows driven
   by the simulator clock, exported as Perfetto-loadable Chrome traces;
@@ -8,11 +8,38 @@
   with JSON and Prometheus text export.
 * :mod:`repro.obs.sampler` — periodic sampling of CU occupancy, per-SE
   load, queue depth, and bandwidth pressure into a registry.
+* :mod:`repro.obs.flight` — per-request flight recording (enqueue →
+  dequeue → service phases → per-kernel windows), the raw material of
+  latency attribution; :class:`~repro.obs.flight.TeeTracer` composes it
+  with the Chrome tracer on one run.
+* :mod:`repro.obs.attribution` — exact (Fraction-arithmetic, zero
+  tolerance) latency decomposition, tail-cohort analysis, and the
+  queueing- vs contention-dominated diagnosis.
+* :mod:`repro.obs.slo_report` — windowed SLO attainment, burn rate,
+  and error-budget accounting over sim time.
 
-All three modules are standard-library-only so any layer of the stack
-(including :mod:`repro.sim.engine`) can import them without cycles.
+The core modules are standard-library-only so any layer of the stack
+(including :mod:`repro.sim.engine`) can import them without cycles;
+attribution/slo_report lazily reach into the model zoo / SLO targets
+only when asked to.
 """
 
+from repro.obs.attribution import (
+    COMPONENTS,
+    decompose,
+    diagnose,
+    export_attribution_metrics,
+    render_markdown_report,
+    summarize,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    KernelWindow,
+    PhaseMark,
+    RequestFlight,
+    TeeTracer,
+    compose_tracers,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -22,18 +49,32 @@ from repro.obs.metrics import (
     linear_buckets,
 )
 from repro.obs.sampler import SimSampler
+from repro.obs.slo_report import build_slo_report
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceRecord, Tracer
 
 __all__ = [
+    "COMPONENTS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KernelWindow",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseMark",
+    "RequestFlight",
     "SimSampler",
+    "TeeTracer",
     "TraceRecord",
     "Tracer",
+    "build_slo_report",
+    "compose_tracers",
+    "decompose",
+    "diagnose",
+    "export_attribution_metrics",
     "exponential_buckets",
     "linear_buckets",
+    "render_markdown_report",
+    "summarize",
 ]

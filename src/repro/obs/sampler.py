@@ -55,8 +55,13 @@ class SimSampler:
         self.sim = sim
         self.device = device
         self.registry = registry
-        self.queues = list(queues)
+        #: Live view of the cell's queues: the sequence the caller owns
+        #: (``ServingSetup.queues``), NOT a copy, so queues created
+        #: after the sampler — per-model ``wl-{model}`` queues of a
+        #: workload attached later, autoscaler pools — are sampled too.
+        self.queues = queues
         self.interval = interval
+        self.prefix = prefix
         self.stop_time: Optional[float] = None
 
         topology = device.topology
@@ -83,12 +88,10 @@ class SimSampler:
             "sampled distribution of bandwidth pressure",
             buckets=linear_buckets(0.25, 0.25, 16),
         )
-        self._queue_depth = {
-            queue.name: registry.gauge(
-                f"{prefix}_queue_depth", "pending requests in the queue",
-                queue=queue.name)
-            for queue in self.queues
-        }
+        # Queue-depth gauges are created lazily in :meth:`sample` so a
+        # queue named after construction still gets its series on the
+        # next tick.
+        self._queue_depth: dict[str, Any] = {}
         self._samples = registry.counter(
             f"{prefix}_samples_total", "sim-time samples taken")
 
@@ -124,7 +127,13 @@ class SimSampler:
         self._bw_pressure.set(pressure)
         self._bw_hist.observe(pressure)
         for queue in self.queues:
-            self._queue_depth[queue.name].set(len(queue))
+            gauge = self._queue_depth.get(queue.name)
+            if gauge is None:
+                gauge = self.registry.gauge(
+                    f"{self.prefix}_queue_depth",
+                    "pending requests in the queue", queue=queue.name)
+                self._queue_depth[queue.name] = gauge
+            gauge.set(len(queue))
         self._samples.inc()
 
         tracer = self.sim.tracer

@@ -1,0 +1,145 @@
+"""Windowed SLO attainment, burn rate, and error-budget accounting.
+
+Takes the flights of a :class:`~repro.obs.flight.FlightRecorder` and
+reports SRE-style service-level accounting over *simulated* time:
+
+* **attainment** — the fraction of disposed requests (completions plus
+  sheds) whose end-to-end latency met the per-model threshold; a shed
+  request never met anything and counts as a miss at its shed time;
+* **burn rate** — miss fraction over the allowed miss fraction
+  ``1 - objective``; a burn rate of 1.0 consumes the error budget
+  exactly as fast as the objective allows, 2.0 twice as fast;
+* **error budget** — ``budget_consumed`` is the fraction of the run's
+  allowed misses already spent (may exceed 1.0 when the SLO is blown).
+
+The report is windowed (``window_count`` equal slices of the accounting
+span) so a fault window or a load knee shows up as a burn-rate spike
+rather than disappearing into the run-wide average, and broken down per
+model (per-model thresholds default to the repo's standard
+``slo_target`` — 2x the isolated p95 — but any mapping can be passed,
+which the unit tests use to stay hermetic).
+
+Everything returned is JSON-native and deterministic given the same
+flights: dict keys are sorted, floats are untouched simulator floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = ["DEFAULT_OBJECTIVE", "build_slo_report"]
+
+#: Default SLO objective: 95% of requests within the threshold.
+DEFAULT_OBJECTIVE = 0.95
+
+
+def _default_threshold(model: str, batch_size: int) -> float:
+    from repro.server.experiment import slo_target
+    return slo_target(model, batch_size)
+
+
+def build_slo_report(
+    flights: Sequence[Any],
+    *,
+    objective: float = DEFAULT_OBJECTIVE,
+    span: Optional[tuple[float, float]] = None,
+    window_count: int = 8,
+    threshold_for: Optional[Callable[[str, int], float]] = None,
+) -> dict[str, Any]:
+    """SLO attainment / burn-rate / error-budget report over ``flights``.
+
+    ``span`` bounds the accounting to dispositions (completion or shed)
+    inside ``[start, end]``; the default covers every disposition.
+    ``threshold_for(model, batch_size)`` supplies the latency threshold
+    per model (default: the repo's 2x-isolated ``slo_target``).
+    """
+    if not 0.0 < objective < 1.0:
+        raise ValueError("objective must be in (0, 1)")
+    if window_count < 1:
+        raise ValueError("window_count must be >= 1")
+    threshold_for = threshold_for or _default_threshold
+
+    # (time, model, met) per disposed request, in flight order.
+    disposed: list[tuple[float, str, bool]] = []
+    thresholds: dict[str, float] = {}
+    for flight in flights:
+        if flight.model not in thresholds:
+            thresholds[flight.model] = threshold_for(flight.model,
+                                                     flight.batch_size)
+        if flight.completed:
+            time = flight.completion_time
+            met = flight.latency <= thresholds[flight.model]
+        elif flight.shed_reason is not None:
+            time = flight.shed_time
+            met = False
+        else:
+            continue
+        if span is not None and not span[0] <= time <= span[1]:
+            continue
+        disposed.append((time, flight.model, met))
+
+    if span is None:
+        times = [time for time, _model, _met in disposed]
+        span = (min(times), max(times)) if times else (0.0, 0.0)
+    start, end = span
+    width = (end - start) / window_count if end > start else 0.0
+    allowed = 1.0 - objective
+
+    def rates(total: int, missed: int) -> dict[str, Optional[float]]:
+        if total == 0:
+            return {"attainment": None, "burn_rate": None,
+                    "budget_consumed": None}
+        miss_fraction = missed / total
+        return {
+            "attainment": 1.0 - miss_fraction,
+            "burn_rate": miss_fraction / allowed,
+            "budget_consumed": missed / (allowed * total),
+        }
+
+    windows: list[dict[str, Any]] = []
+    for index in range(window_count):
+        window_start = start + index * width
+        # The final window is end-inclusive so every disposition lands
+        # in exactly one window and totals conserve.
+        window_end = end if index == window_count - 1 \
+            else start + (index + 1) * width
+        in_window = [
+            (model, met) for time, model, met in disposed
+            if (window_start <= time < window_end
+                or (index == window_count - 1
+                    and window_start <= time <= window_end))
+        ]
+        total = len(in_window)
+        missed = sum(1 for _model, met in in_window if not met)
+        windows.append({
+            "start": window_start,
+            "end": window_end,
+            "total": total,
+            "missed": missed,
+            **rates(total, missed),
+        })
+
+    models: dict[str, Any] = {}
+    for model in sorted({model for _time, model, _met in disposed}
+                        | set(thresholds)):
+        rows = [met for _time, m, met in disposed if m == model]
+        total = len(rows)
+        missed = sum(1 for met in rows if not met)
+        models[model] = {
+            "threshold_s": thresholds.get(model),
+            "total": total,
+            "missed": missed,
+            **rates(total, missed),
+        }
+
+    total = len(disposed)
+    missed = sum(1 for _time, _model, met in disposed if not met)
+    return {
+        "objective": objective,
+        "span": [start, end],
+        "window_s": width,
+        "overall": {"total": total, "missed": missed,
+                    **rates(total, missed)},
+        "models": models,
+        "windows": windows,
+    }

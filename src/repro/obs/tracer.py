@@ -86,7 +86,12 @@ class NullTracer:
 
     def request_arrival(self, request: Any) -> None: ...
 
+    def request_enqueued(self, request: Any, queue_name: str) -> None: ...
+
     def request_dequeued(self, request: Any, worker: str) -> None: ...
+
+    def service_phase(self, request: Any, worker: str, phase: str,
+                      start: float, end: float) -> None: ...
 
     def request_completed(self, request: Any, worker: str) -> None: ...
 
@@ -205,6 +210,16 @@ class Tracer:
             "batch": request.batch_size,
         })
 
+    def request_enqueued(self, request: Any, queue_name: str) -> None:
+        """``request`` entered ``queue_name``.
+
+        The Chrome trace already carries arrivals and queue-depth
+        counters, so this hook records nothing here — it exists for the
+        :class:`~repro.obs.flight.FlightRecorder`, which needs the
+        per-request queue identity.  Deliberately a no-op to keep pinned
+        trace exports byte-stable.
+        """
+
     def request_dequeued(self, request: Any, worker: str) -> None:
         """``worker`` popped ``request``; emits its queue-wait span."""
         local = self._local_request(request)
@@ -212,6 +227,17 @@ class Tracer:
         self.span("server", worker, "queued", request.arrival_time, now,
                   {"request": local})
         self._active_request[worker] = (local, now)
+
+    def service_phase(self, request: Any, worker: str, phase: str,
+                      start: float, end: float) -> None:
+        """A worker service phase boundary (``host_pre``/``burst``/
+        ``gap``/``host_post``).
+
+        No-op here for the same reason as :meth:`request_enqueued`: the
+        request span already covers the service window in the Chrome
+        view, and the phase decomposition belongs to the
+        :class:`~repro.obs.flight.FlightRecorder`.
+        """
 
     def request_completed(self, request: Any, worker: str) -> None:
         """``worker`` finished ``request``; emits its service span."""

@@ -173,6 +173,7 @@ def run_experiment(
     config: ExperimentConfig,
     *,
     tracer=None,
+    recorder=None,
     metrics=None,
     sample_interval: float = 250e-6,
     faults=None,
@@ -196,10 +197,13 @@ def run_experiment(
     already fixed and has no effect on the returned result.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records the request/kernel/
-    mask-decision timeline; ``metrics`` (a :class:`repro.obs.MetricsRegistry`)
-    receives periodic occupancy/load/queue-depth samples every
-    ``sample_interval`` simulated seconds.  Both default to off and add no
-    overhead when omitted.
+    mask-decision timeline; ``recorder`` (a :class:`repro.obs.flight
+    .FlightRecorder`) captures per-request flights for latency
+    attribution (:mod:`repro.obs.attribution`); ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) receives periodic
+    occupancy/load/queue-depth samples every ``sample_interval``
+    simulated seconds.  All default to off and add no overhead when
+    omitted.
 
     ``faults`` (a :class:`repro.faults.FaultSchedule`) injects the
     schedule's events during the run; ``guard`` (a :class:`repro.server
@@ -216,6 +220,7 @@ def run_experiment(
                    f"/{config.batch_size}"),
         tracer=tracer,
         guard=guard,
+        recorder=recorder,
     )
     sim, device = setup.sim, setup.device
 

@@ -62,6 +62,7 @@ def run_rate_experiment(
     *,
     workload=None,
     tracer=None,
+    recorder=None,
     metrics=None,
     sample_interval: float = 250e-6,
     faults=None,
@@ -96,6 +97,11 @@ def run_rate_experiment(
         A :class:`~repro.obs.tracer.Tracer`; when given, requests,
         kernels, and queue depths are traced (pure observation — the
         result is unchanged).
+    recorder:
+        A :class:`~repro.obs.flight.FlightRecorder`; when given, every
+        request's flight (enqueue/dequeue/phases/kernels) is captured
+        for latency attribution.  Pure observation, composable with
+        ``tracer``.
     metrics:
         A :class:`~repro.obs.metrics.MetricsRegistry`; when given, a
         sim-clock sampler records occupancy/queue-depth series.
@@ -127,7 +133,8 @@ def run_rate_experiment(
     if offered_rps is None or offered_rps <= 0:
         raise ValueError("offered_rps must be > 0")
     setup = ServingSetup.build(config, rng_label=f"rate/{offered_rps}",
-                               tracer=tracer, guard=guard)
+                               tracer=tracer, guard=guard,
+                               recorder=recorder)
     sim = setup.sim
 
     if duration is None:

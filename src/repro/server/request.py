@@ -88,6 +88,7 @@ class RequestQueue:
         self.enqueued += 1
         tracer = self.sim.tracer
         if tracer.enabled:
+            tracer.request_enqueued(request, self.name)
             tracer.queue_depth(self.name, len(self._pending))
         if self._waiters:
             self._waiters.popleft().fire(None)

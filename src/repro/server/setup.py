@@ -68,12 +68,22 @@ class ServingSetup:
         rng_label: str,
         tracer=None,
         guard: Optional[SloGuard] = None,
+        recorder=None,
     ) -> "ServingSetup":
         """Assemble device, RNG, policy, and streams for ``config``.
 
         ``rng_label`` is the registry fork label — each harness keeps its
         historical label (changing it changes every random draw).
+
+        ``recorder`` (a :class:`~repro.obs.flight.FlightRecorder`) is a
+        second tracer-protocol observer; when both ``tracer`` and
+        ``recorder`` are given they are fanned out through a
+        :class:`~repro.obs.flight.TeeTracer`.  Pure observation either
+        way — results are bit-identical with and without it.
         """
+        if recorder is not None:
+            from repro.obs.flight import compose_tracers
+            tracer = compose_tracers(tracer, recorder)
         topology = GpuTopology.mi50()
         sim = Simulator(tracer=tracer)
         device = GpuDevice(sim, topology, exec_config=config.exec_config())

@@ -200,11 +200,21 @@ class Worker:
             self._current = request
             request.start_time = self.sim.now
             tracer = self.sim.tracer
-            if tracer.enabled:
+            traced = tracer.enabled
+            # Service-phase boundaries thread ``mark`` so consecutive
+            # phases share their boundary timestamp bitwise — the exact
+            # tiling the latency-attribution decomposition relies on.
+            mark = request.start_time
+            if traced:
                 tracer.request_dequeued(request, self.name)
             yield costs.draw(costs.pre_mean, self.rng)
             if self._epoch != epoch:
                 return
+            if traced:
+                now = self.sim.now
+                tracer.service_phase(request, self.name, "host_pre",
+                                     mark, now)
+                mark = now
             segments = self.segments if self.segments_for is None \
                 else self.segments_for(request)
             for burst, gap in segments:
@@ -213,16 +223,28 @@ class Worker:
                 yield self.stream.synchronize_signal()
                 if self._epoch != epoch:
                     return
+                if traced:
+                    now = self.sim.now
+                    tracer.service_phase(request, self.name, "burst",
+                                         mark, now)
+                    mark = now
                 if gap > 0:
                     yield gap
                     if self._epoch != epoch:
                         return
+                    if traced:
+                        now = self.sim.now
+                        tracer.service_phase(request, self.name, "gap",
+                                             mark, now)
+                        mark = now
             yield costs.draw(costs.post_mean, self.rng)
             if self._epoch != epoch:
                 return
             request.completion_time = self.sim.now
             self._current = None
-            if tracer.enabled:
+            if traced:
+                tracer.service_phase(request, self.name, "host_post",
+                                     mark, request.completion_time)
                 tracer.request_completed(request, self.name)
             self.stats.completed.append(request)
             self.stats.requests_processed += 1

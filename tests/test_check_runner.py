@@ -19,7 +19,8 @@ from repro.cli import main
 def test_available_checks_cover_globals_and_scenarios():
     names = available_checks(include_all=True)
     for expected in ("mask-laws", "device-audit", "emulation-correction",
-                     "mask-growth", "overlap-limit-law"):
+                     "mask-growth", "overlap-limit-law",
+                     "attribution-conservation"):
         assert expected in names
     # Every scenario gets a differential replay; only the cheap cells
     # get the pool/cache/audited-run treatment.

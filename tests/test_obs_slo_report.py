@@ -1,0 +1,99 @@
+"""Windowed SLO attainment, burn rate, and error-budget accounting.
+
+Hermetic: flights are built by hand and thresholds injected via
+``threshold_for``, so nothing here touches the isolated-baseline cache.
+"""
+
+import pytest
+
+from repro.obs.flight import RequestFlight
+from repro.obs.slo_report import build_slo_report
+
+
+def flight(index, arrival, completion=None, shed_at=None,
+           model="squeezenet"):
+    f = RequestFlight(index=index, model=model, batch_size=4,
+                      arrival_time=arrival)
+    if completion is not None:
+        f.completion_time = completion
+    if shed_at is not None:
+        f.shed_reason = "deadline"
+        f.shed_time = shed_at
+    return f
+
+
+def threshold(_model, _batch):
+    return 0.5
+
+
+def test_attainment_burn_rate_and_budget():
+    flights = [
+        flight(0, 0.0, completion=0.25),   # met
+        flight(1, 1.0, completion=1.25),   # met
+        flight(2, 2.0, completion=3.00),   # missed (1.0 > 0.5)
+        flight(3, 3.0, shed_at=3.25),      # shed counts as a miss
+    ]
+    report = build_slo_report(flights, objective=0.75,
+                              threshold_for=threshold)
+    overall = report["overall"]
+    assert overall["total"] == 4 and overall["missed"] == 2
+    assert overall["attainment"] == pytest.approx(0.5)
+    # burn rate = miss_fraction / (1 - objective) = 0.5 / 0.25.
+    assert overall["burn_rate"] == pytest.approx(2.0)
+    assert overall["budget_consumed"] == pytest.approx(2.0)
+    model = report["models"]["squeezenet"]
+    assert model["threshold_s"] == 0.5
+    assert model["total"] == 4 and model["missed"] == 2
+
+
+def test_windows_conserve_dispositions():
+    flights = [flight(i, 0.1 * i, completion=0.1 * i + 0.1)
+               for i in range(20)]
+    report = build_slo_report(flights, threshold_for=threshold,
+                              window_count=7)
+    windows = report["windows"]
+    assert len(windows) == 7
+    assert sum(w["total"] for w in windows) == report["overall"]["total"]
+    assert sum(w["missed"] for w in windows) == report["overall"]["missed"]
+    # Windows tile the span with shared boundaries.
+    assert windows[0]["start"] == report["span"][0]
+    assert windows[-1]["end"] == report["span"][1]
+    for left, right in zip(windows, windows[1:]):
+        assert left["end"] == right["start"]
+
+
+def test_span_filters_dispositions():
+    flights = [
+        flight(0, 0.0, completion=0.1),    # before the span
+        flight(1, 1.0, completion=1.1),    # inside
+        flight(2, 5.0, completion=9.0),    # inside, missed
+        flight(3, 11.0, completion=11.1),  # after the span
+    ]
+    report = build_slo_report(flights, span=(1.0, 10.0),
+                              threshold_for=threshold)
+    assert report["overall"]["total"] == 2
+    assert report["overall"]["missed"] == 1
+    assert report["span"] == [1.0, 10.0]
+
+
+def test_per_model_breakdown_and_empty_rates():
+    flights = [
+        flight(0, 0.0, completion=0.25, model="squeezenet"),
+        flight(1, 0.0, completion=2.0, model="mobilenet"),
+    ]
+    report = build_slo_report(flights, threshold_for=threshold)
+    assert report["models"]["squeezenet"]["missed"] == 0
+    assert report["models"]["mobilenet"]["missed"] == 1
+
+    empty = build_slo_report([], threshold_for=threshold)
+    assert empty["overall"]["total"] == 0
+    assert empty["overall"]["attainment"] is None
+    assert empty["overall"]["burn_rate"] is None
+
+
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        build_slo_report([], objective=1.0, threshold_for=threshold)
+    with pytest.raises(ValueError):
+        build_slo_report([], objective=0.9, window_count=0,
+                         threshold_for=threshold)
