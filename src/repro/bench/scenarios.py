@@ -36,6 +36,7 @@ from repro.exp.chaos import build_scenario
 from repro.gpu.counters import CUKernelCounters
 from repro.gpu.topology import GpuTopology
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 from repro.server.slo import SloGuard
 from repro.sim.rng import RngRegistry
 
@@ -96,7 +97,7 @@ class Scenario:
 def _cell(config: ExperimentConfig, faults=None, guard=None) -> ScenarioRun:
     stats: dict = {}
     result = run_experiment(
-        config, faults=faults, guard=guard, stats_out=stats)
+        config, RunOptions(faults=faults, guard=guard), stats_out=stats)
     return ScenarioRun(
         result_hash=result_hash(result),
         events=stats["events_executed"],

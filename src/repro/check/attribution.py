@@ -39,6 +39,7 @@ def check_attribution_conservation() -> tuple[list[str], dict[str, Any]]:
     )
     from repro.obs.flight import FlightRecorder
     from repro.server.experiment import run_experiment
+    from repro.server.options import RunOptions
 
     violations: list[str] = []
     details: dict[str, Any] = {}
@@ -49,10 +50,12 @@ def check_attribution_conservation() -> tuple[list[str], dict[str, Any]]:
         ("chaos", CHAOS_CONFIG, chaos_faults(CHAOS_CONFIG), CHAOS_GUARD),
     )
     for label, config, faults, guard in cells:
-        plain = run_experiment(config, faults=faults, guard=guard)
+        plain = run_experiment(
+            config, RunOptions(faults=faults, guard=guard))
         recorder = FlightRecorder()
-        recorded = run_experiment(config, recorder=recorder,
-                                  faults=faults, guard=guard)
+        recorded = run_experiment(
+            config, RunOptions(recorder=recorder, faults=faults,
+                               guard=guard))
         plain_hash = result_hash(plain)
         details[f"{label}_hash"] = plain_hash
         if plain_hash != result_hash(recorded):

@@ -37,6 +37,7 @@ from repro.check.invariants import request_conservation
 from repro.exp.cache import ResultCache, cached_run_experiment, result_hash
 from repro.exp.sweep import run_sweep
 from repro.server.experiment import run_experiment
+from repro.server.options import RunOptions
 
 __all__ = [
     "check_cache_replay",
@@ -89,7 +90,8 @@ def check_pool_modes(name: str) -> tuple[list[str], dict[str, Any]]:
     hashes: dict[int, dict[int, str]] = {}
     for jobs in (1, 2):
         report = run_sweep(cells, jobs=jobs, cache=False,
-                           faults=faults, guard=scenario.guard)
+                           options=RunOptions(faults=faults,
+                                              guard=scenario.guard))
         report.raise_failures()
         hashes[jobs] = {index: result_hash(report.result(cell))
                         for index, cell in enumerate(cells)}
@@ -150,7 +152,8 @@ def check_experiment_invariants(name: str) -> tuple[list[str],
         details["completed"] = sum(len(w.stats.completed)
                                    for w in setup.workers)
 
-    result = run_experiment(scenario.config, faults=faults,
-                            guard=scenario.guard, audit=audit)
+    result = run_experiment(
+        scenario.config, RunOptions(faults=faults, guard=scenario.guard,
+                                    audit=audit))
     details["result_hash"] = result_hash(result)
     return [f"{name}: {violation}" for violation in violations], details

@@ -21,6 +21,13 @@ be explored without writing code:
 * ``report MODEL [MODEL...]`` — run one cell under the flight recorder
   and emit a latency-attribution + SLO burn-rate report (deterministic
   JSON and human-readable markdown), with an exact conservation audit.
+* ``fleet SPEC.yaml`` — a simulated multi-GPU fleet: devices × router
+  policy × offered-rate grid with per-model pool autoscaling, optional
+  node-crash injection, and per-device utilization/goodput accounting.
+
+The recurring flags — ``--jobs``, ``--no-cache``, ``--json-out``,
+``--duration`` — are defined once on shared parent parsers, so they
+spell and mean the same thing on every subcommand that takes them.
 """
 
 from __future__ import annotations
@@ -40,10 +47,43 @@ from repro.server.experiment import (
     run_experiment,
     slo_target,
 )
+from repro.server.options import RunOptions
 from repro.server.policies import POLICY_NAMES
 from repro.server.rate_experiment import run_rate_experiment
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return count
+
+
+def _shared_parents() -> dict[str, argparse.ArgumentParser]:
+    """Parent parsers for the flags every grid/report subcommand shares.
+
+    Defining ``--jobs``/``--no-cache``/``--json-out``/``--duration``
+    once keeps their spelling, type, default, and help text identical
+    across subcommands (a parity test pins this).
+    """
+    jobs = argparse.ArgumentParser(add_help=False)
+    jobs.add_argument("--jobs", "-j", type=_positive_int, default=None,
+                      help="process-pool size (default: REPRO_JOBS or "
+                           "cpu_count - 1; 1 = serial)")
+    cache = argparse.ArgumentParser(add_help=False)
+    cache.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache entirely")
+    json_out = argparse.ArgumentParser(add_help=False)
+    json_out.add_argument("--json-out", default=None,
+                          help="write the deterministic JSON document here")
+    duration = argparse.ArgumentParser(add_help=False)
+    duration.add_argument("--duration", type=float, default=None,
+                          help="sim seconds per run (default: "
+                               "subcommand-specific)")
+    return {"jobs": jobs, "cache": cache, "json_out": json_out,
+            "duration": duration}
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -105,8 +145,9 @@ def _cmd_rate(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         model_names=(args.model,) * args.workers, policy=args.policy,
         batch_size=args.batch)
+    duration = args.duration if args.duration is not None else 2.0
     result = run_rate_experiment(config, offered_rps=args.rps,
-                                 duration=args.duration)
+                                 duration=duration)
     print(f"offered {result.offered_rps:.0f} rps -> achieved "
           f"{result.achieved_rps:.0f} rps")
     print(f"p95 latency (incl. queueing): {result.latency.p95 * 1e3:.2f} ms")
@@ -117,6 +158,7 @@ def _cmd_rate(args: argparse.Namespace) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     from repro.exp.load import run_load_curve
+    from repro.exp.sweep import default_jobs
     from repro.server.slo import SloGuard
     from repro.workload import load_workload
 
@@ -139,11 +181,12 @@ def _cmd_load(args: argparse.Namespace) -> int:
         print(f"\r[{done}/{total}] {label:<32}", end="", file=sys.stderr,
               flush=True)
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
     report = run_load_curve(
         config, spec,
         rates=tuple(args.rates) if args.rates else None,
         scales=tuple(args.scales),
-        duration=args.duration, guard=guard, jobs=args.jobs,
+        duration=args.duration, options=RunOptions(guard=guard), jobs=jobs,
         use_cache=not args.no_cache, progress=progress,
         attribute=args.attribute)
     print(file=sys.stderr)
@@ -172,8 +215,9 @@ def _cmd_load(args: argparse.Namespace) -> int:
         recorder = FlightRecorder()
         run_rate_experiment(
             config, probe_rate, report.duration,
-            workload=spec.at_rate(probe_rate), guard=guard,
-            metrics=registry, recorder=recorder)
+            options=RunOptions(workload=spec.at_rate(probe_rate),
+                               guard=guard, metrics=registry,
+                               recorder=recorder))
         exported = export_attribution_metrics(recorder.flights(), registry)
         Path(args.metrics_out).write_text(registry.to_prometheus())
         print(f"wrote {len(registry)} metric series "
@@ -227,10 +271,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     report = run_sweep(sweep, jobs=jobs, cache=not args.no_cache,
                        retries=args.retries, progress=progress,
-                       metrics=registry)
+                       options=RunOptions(metrics=registry))
     print(file=sys.stderr)
 
     rows = []
+    json_rows = []
     for config in report.cells:
         label = "+".join(dict.fromkeys(config.model_names)) \
             if len(set(config.model_names)) > 1 else config.model_names[0]
@@ -239,16 +284,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except RuntimeError:
             rows.append([label, config.policy, len(config.model_names),
                          "FAILED", "-", "-"])
+            json_rows.append({"models": list(config.model_names),
+                              "policy": config.policy, "failed": True})
             continue
         rows.append([label, config.policy, len(config.model_names),
                      f"{result.total_rps:.0f}",
                      f"{result.max_p95() * 1e3:.1f}",
                      f"{result.energy_per_request:.2f}"])
+        json_rows.append({
+            "models": list(config.model_names),
+            "policy": config.policy,
+            "workers": len(config.model_names),
+            "total_rps": result.total_rps,
+            "max_p95_ms": result.max_p95() * 1e3,
+            "energy_per_request_j": result.energy_per_request,
+            "failed": False,
+        })
     print(format_table(
         ["model", "policy", "workers", "rps", "max p95 (ms)", "J/req"],
         rows, title=f"sweep over {len(report.cells)} cells "
                     f"(batch {args.batch})"))
     print(f"\n{report.summary()}")
+
+    if args.json_out:
+        import json
+        from pathlib import Path
+
+        from repro.exp.cache import fingerprint
+
+        payload = {"schema": 1, "constants": fingerprint(),
+                   "batch_size": args.batch, "rows": json_rows}
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {len(json_rows)} cells to {args.json_out}")
     if report.failed:
         for failure in report.failed:
             print(f"\nFAILED {'+'.join(failure.config.model_names)}/"
@@ -272,9 +340,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             model_names=names, policy=args.policy, batch_size=args.batch,
             emulated=args.emulated, requests_scale=args.scale,
         ),
-        tracer=tracer,
-        metrics=registry,
-        sample_interval=args.sample_interval,
+        options=RunOptions(tracer=tracer, metrics=registry,
+                           sample_interval=args.sample_interval),
     )
     events = tracer.write_chrome_trace(args.out)
     counts = tracer.counts()
@@ -302,6 +369,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.exp.chaos import CHAOS_SCENARIOS, build_scenario, run_chaos
+    from repro.exp.sweep import default_jobs
 
     names = tuple(args.models) * args.workers if len(args.models) == 1 \
         else tuple(args.models)
@@ -312,11 +380,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\r[{done}/{total}] {label:<40}", end="", file=sys.stderr,
               flush=True)
 
+    jobs = args.jobs if args.jobs is not None else default_jobs()
     report = run_chaos(
         names, tuple(args.policies), scenarios,
         batch_size=args.batch, seed=args.seed,
         requests_scale=args.scale, emulated=args.emulated,
-        use_cache=not args.no_cache, progress=progress,
+        use_cache=not args.no_cache, jobs=jobs, progress=progress,
     )
     print(file=sys.stderr)
     print(report.to_text())
@@ -341,9 +410,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed, emulated=args.emulated,
             requests_scale=args.scale)
         tracer = Tracer()
-        run_experiment(config, tracer=tracer,
-                       faults=build_scenario(scenario, config),
-                       guard=report.guard)
+        run_experiment(config, options=RunOptions(
+            tracer=tracer, faults=build_scenario(scenario, config),
+            guard=report.guard))
         events = tracer.write_chrome_trace(args.trace_out)
         print(f"wrote {events} trace events for {policy}/{scenario} to "
               f"{args.trace_out} ({tracer.faults_traced} faults, "
@@ -391,8 +460,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         faults = build_scenario(args.faults, config)
 
     recorder = FlightRecorder()
-    result = run_experiment(config, recorder=recorder, faults=faults,
-                            guard=guard)
+    result = run_experiment(config, options=RunOptions(
+        recorder=recorder, faults=faults, guard=guard))
 
     warmup, end = measurement_window(config)
     flights = recorder.flights()
@@ -553,13 +622,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cluster import AutoscalerConfig, ClusterConfig, run_fleet
+    from repro.exp.sweep import default_jobs
+    from repro.workload import load_workload
+
+    spec = load_workload(args.spec)
+    models = tuple(spec.models())
+    base = ClusterConfig(
+        devices=args.devices[0], model_names=models, policy=args.policy,
+        batch_size=spec.request_batch_size(), seed=args.seed,
+        router=args.router, pool_size=args.pool, pool_min=args.pool_min)
+
+    guard = None
+    if args.deadline is not None or args.admission is not None:
+        from repro.server.slo import SloGuard
+        guard = SloGuard(
+            deadline=(args.deadline * 1e-3 if args.deadline is not None
+                      else None),
+            admission_depth=args.admission)
+
+    faults = None
+    if args.crash_node is not None:
+        from repro.faults.schedule import FaultSchedule, NodeCrash
+        faults = FaultSchedule(
+            (NodeCrash(time=args.crash_time, node=args.crash_node),))
+
+    native = spec.offered_rps()
+    scales = tuple(args.scales)
+    if args.rates:
+        scales = tuple(rate / native for rate in args.rates)
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r[{done}/{total}] fleet cells", end="", file=sys.stderr,
+              flush=True)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    report = run_fleet(
+        base, spec,
+        devices=tuple(args.devices),
+        routers=tuple(args.routers) if args.routers else None,
+        scales=scales,
+        duration=args.duration,
+        autoscaler=None if args.no_autoscaler else AutoscalerConfig(),
+        faults=faults, guard=guard,
+        jobs=jobs, use_cache=not args.no_cache, progress=progress)
+    print(file=sys.stderr)
+
+    print(report.to_text())
+    print(f"\nspec rate {native:.0f} rps over {'+'.join(models)} "
+          f"(pool {base.pool_min}..{base.pool_size} per model per device)")
+    if report.cache_hits:
+        print(f"cache: {report.cache_hits}/{len(report.cells)} cells "
+              "served from the cluster store")
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json())
+        print(f"wrote {len(report.cells)} cells to {args.json_out}")
+    violated = [c for c in report.cells if not c.result.conservation_ok]
+    if violated:
+        print(f"CONSERVATION VIOLATED in {len(violated)} cell(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``krisp-repro`` argument parser."""
+    from repro.cluster.config import ROUTER_POLICIES
+
     parser = argparse.ArgumentParser(
         prog="krisp-repro",
         description="KRISP (HPCA 2023) reproduction on a simulated GPU",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    parents = _shared_parents()
 
     profile = sub.add_parser("profile", help="model sensitivity + kernel trace")
     profile.add_argument("model", choices=ALL_MODEL_NAMES)
@@ -578,18 +716,21 @@ def build_parser() -> argparse.ArgumentParser:
     table3 = sub.add_parser("table3", help="regenerate Table III")
     table3.set_defaults(func=_cmd_table3)
 
-    rate = sub.add_parser("rate", help="open-loop serving at a fixed rate")
+    rate = sub.add_parser("rate", parents=[parents["duration"]],
+                          help="open-loop serving at a fixed rate")
     rate.add_argument("model", choices=ALL_MODEL_NAMES)
     rate.add_argument("--rps", type=float, required=True)
     rate.add_argument("--workers", "-n", type=int, default=2)
     rate.add_argument("--policy", "-p", choices=POLICY_NAMES,
                       default="krisp-i")
     rate.add_argument("--batch", type=int, default=32)
-    rate.add_argument("--duration", type=float, default=2.0)
     rate.set_defaults(func=_cmd_rate)
 
     load = sub.add_parser(
-        "load", help="latency-vs-rate curve over a YAML workload spec")
+        "load",
+        parents=[parents["jobs"], parents["cache"], parents["json_out"],
+                 parents["duration"]],
+        help="latency-vs-rate curve over a YAML workload spec")
     load.add_argument("spec", help="workload spec path (.yaml or .json)")
     load.add_argument("--workers", "-n", type=int, default=2,
                       help="workers per distinct model in the spec")
@@ -603,20 +744,11 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--rates", nargs="+", type=float, default=None,
                       help="absolute offered rates in rps (overrides "
                            "--scales)")
-    load.add_argument("--duration", type=float, default=None,
-                      help="sim seconds per point (default: 40x the "
-                           "slowest SLO target)")
     load.add_argument("--deadline", type=float, default=None,
                       help="SLO deadline in ms (enables shedding + "
                            "goodput accounting)")
     load.add_argument("--admission", type=int, default=None,
                       help="bound each queue to this depth")
-    load.add_argument("--jobs", "-j", type=int, default=1,
-                      help="process-pool size for the points (1 = serial)")
-    load.add_argument("--no-cache", action="store_true",
-                      help="bypass the on-disk rate-result cache")
-    load.add_argument("--json-out", default=None,
-                      help="write the curve (deterministic JSON) here")
     load.add_argument("--attribute", action="store_true",
                       help="attach a latency-attribution summary to every "
                            "point (runs points live, serially)")
@@ -630,7 +762,9 @@ def build_parser() -> argparse.ArgumentParser:
     load.set_defaults(func=_cmd_load)
 
     sweep = sub.add_parser(
-        "sweep", help="run a co-location grid in parallel with caching")
+        "sweep",
+        parents=[parents["jobs"], parents["cache"], parents["json_out"]],
+        help="run a co-location grid in parallel with caching")
     sweep.add_argument("models", nargs="*", choices=ALL_MODEL_NAMES,
                        help="models to sweep (default: the Table III zoo)")
     sweep.add_argument("--policies", "-p", nargs="+", choices=POLICY_NAMES,
@@ -640,17 +774,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker counts (each model co-located with "
                             "itself)")
     sweep.add_argument("--batch", type=int, default=32)
-    def positive_int(value: str) -> int:
-        jobs = int(value)
-        if jobs < 1:
-            raise argparse.ArgumentTypeError("must be >= 1")
-        return jobs
-
-    sweep.add_argument("--jobs", "-j", type=positive_int, default=None,
-                       help="process-pool size (default: REPRO_JOBS or "
-                            "cpu_count - 1; 1 = serial)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="bypass the on-disk result cache entirely")
     sweep.add_argument("--retries", type=int, default=1,
                        help="extra attempts per failing cell")
     sweep.set_defaults(func=_cmd_sweep)
@@ -677,7 +800,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=_cmd_trace)
 
     chaos = sub.add_parser(
-        "chaos", help="policy x fault-scenario resilience grid")
+        "chaos",
+        parents=[parents["jobs"], parents["cache"], parents["json_out"]],
+        help="policy x fault-scenario resilience grid")
     chaos.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
     chaos.add_argument("--workers", "-n", type=int, default=2,
                        help="replicas when a single model is given")
@@ -695,18 +820,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--emulated", action="store_true",
                        help="route launches through the barrier-packet "
                             "emulation path")
-    chaos.add_argument("--no-cache", action="store_true",
-                       help="bypass the on-disk result cache entirely")
-    chaos.add_argument("--json-out", default=None,
-                       help="write the grid as JSON rows here")
     chaos.add_argument("--trace-out", default=None,
                        help="re-run one fault-injected cell under the "
                             "tracer and write a Chrome trace here")
     chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
-        "report", help="latency-attribution + SLO burn-rate report for "
-                       "one cell")
+        "report", parents=[parents["json_out"]],
+        help="latency-attribution + SLO burn-rate report for one cell")
     report.add_argument("models", nargs="+", choices=ALL_MODEL_NAMES)
     report.add_argument("--workers", "-n", type=int, default=2,
                         help="replicas when a single model is given")
@@ -730,14 +851,13 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--objective", type=float, default=0.95,
                         help="SLO attainment objective for burn-rate "
                              "accounting (default 0.95)")
-    report.add_argument("--json-out", default=None,
-                        help="write the deterministic report JSON here")
     report.add_argument("--md-out", default=None,
                         help="write the markdown report here")
     report.set_defaults(func=_cmd_report)
 
     bench = sub.add_parser(
-        "bench", help="time the pinned simulator benchmark scenarios")
+        "bench", parents=[parents["json_out"]],
+        help="time the pinned simulator benchmark scenarios")
     bench.add_argument("scenarios", nargs="*",
                        help="scenario names (default: all; see --list)")
     bench.add_argument("--list", action="store_true",
@@ -747,9 +867,6 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare", action="store_true",
                        help="also run REPRO_FULL_RECOMPUTE=1, assert "
                             "bit-identical hashes, report speedups")
-    bench.add_argument("--json-out", default=None,
-                       help="write the report here (BENCH_<rev>.json "
-                            "convention)")
     bench.add_argument("--check", default=None,
                        help="baseline report JSON to gate wall-time "
                             "regressions against")
@@ -759,7 +876,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=_cmd_bench)
 
     check = sub.add_parser(
-        "check", help="audit the simulator's conservation laws")
+        "check", parents=[parents["json_out"]],
+        help="audit the simulator's conservation laws")
     check.add_argument("--scenario", "-s", nargs="+", default=None,
                        help="restrict differential replays to these pinned "
                             "scenarios (default: colo4 chaos)")
@@ -770,11 +888,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="self-test: seed deliberate faults and assert "
                             "the checkers catch them (exits 1 when all are "
                             "caught, 2 when one escapes)")
-    check.add_argument("--json-out", default=None,
-                       help="write the report as JSON here")
     check.add_argument("--list", action="store_true",
                        help="list every check and mutation, then exit")
     check.set_defaults(func=_cmd_check)
+
+    fleet = sub.add_parser(
+        "fleet",
+        parents=[parents["jobs"], parents["cache"], parents["json_out"],
+                 parents["duration"]],
+        help="devices x router-policy x rate grid over a simulated fleet")
+    fleet.add_argument("spec", help="workload spec path (.yaml or .json)")
+    fleet.add_argument("--devices", "-d", nargs="+", type=_positive_int,
+                       default=[1, 2, 4],
+                       help="fleet sizes (device counts) to sweep")
+    fleet.add_argument("--routers", nargs="+", choices=ROUTER_POLICIES,
+                       default=None,
+                       help="router placement policies to compare "
+                            "(default: just --router)")
+    fleet.add_argument("--router", choices=ROUTER_POLICIES,
+                       default="least-loaded",
+                       help="request placement policy")
+    fleet.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                       default="krisp-i",
+                       help="per-device partition policy")
+    fleet.add_argument("--pool", type=_positive_int, default=2,
+                       help="worker slots per model per device")
+    fleet.add_argument("--pool-min", type=_positive_int, default=1,
+                       help="always-active slots per model per device")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--scales", nargs="+", type=float,
+                       default=[0.5, 1.0, 1.5],
+                       help="offered-rate multiples of the spec's native "
+                            "rate")
+    fleet.add_argument("--rates", nargs="+", type=float, default=None,
+                       help="absolute offered rates in rps (overrides "
+                            "--scales)")
+    fleet.add_argument("--deadline", type=float, default=None,
+                       help="SLO deadline in ms (enables shedding + "
+                            "goodput accounting)")
+    fleet.add_argument("--admission", type=int, default=None,
+                       help="bound each queue to this depth")
+    fleet.add_argument("--crash-node", type=int, default=None,
+                       help="crash this node (whole device) mid-run")
+    fleet.add_argument("--crash-time", type=float, default=0.5,
+                       help="sim time of --crash-node in seconds")
+    fleet.add_argument("--no-autoscaler", action="store_true",
+                       help="freeze pools at --pool-min (no autoscaling)")
+    fleet.set_defaults(func=_cmd_fleet)
     return parser
 
 

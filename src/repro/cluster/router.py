@@ -1,0 +1,206 @@
+"""Cluster-level request routing with pluggable placement policies.
+
+The router is the fleet's frontend: every arriving request is placed on
+exactly one active pool slot of a live node, chosen by a deterministic
+placement policy.  All policies break ties on ``(node_index,
+slot_index)`` so routing — like everything else in the harness — is a
+pure function of the configuration and the RNG seed.
+
+Policies (the :data:`~repro.cluster.config.ROUTER_POLICIES` registry):
+
+* ``least-loaded`` — fewest requests pending-plus-in-flight on the slot
+  (classic join-the-shortest-queue);
+* ``free-cu`` — partition-aware: prefer the node with the most CUs
+  currently free of resident kernels (the right-sizing signal KRISP
+  exposes per device), then least-loaded on that node;
+* ``affinity`` — model-affinity: prefer slots whose worker already
+  exists (the model is resident — no cold start), pricing cold slots by
+  their :class:`~repro.faults.schedule.ReloadCostModel` reload time.
+
+:class:`FleetClient` is the open-loop injection loop of
+:class:`~repro.workload.client.WorkloadClient` re-pointed at the router:
+same ``arrivals`` / ``workload-mix`` / ``workload-lengths`` stream
+discipline (drawn from the *cluster* RNG fork, so arrival times are
+invariant across fleet size and policy), with per-request placement
+instead of fixed per-model queues.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.cluster.config import ROUTER_POLICIES
+from repro.cluster.setup import ClusterSetup, PoolSlot
+from repro.faults.schedule import ReloadCostModel
+from repro.server.request import InferenceRequest
+from repro.sim.process import Process
+from repro.workload.arrivals import TraceArrivals
+from repro.workload.spec import TraceWorkloadSpec, WorkloadSpec
+
+__all__ = ["ClusterRouter", "FleetClient"]
+
+
+def _slot_load(slot: PoolSlot) -> int:
+    """Pending plus in-flight work parked on one slot."""
+    load = len(slot.queue)
+    if slot.worker is not None and slot.worker.in_flight is not None:
+        load += 1
+    return load
+
+
+class ClusterRouter:
+    """Places each request on one active slot of a live node."""
+
+    def __init__(self, cluster: ClusterSetup,
+                 policy: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.policy = policy if policy is not None else cluster.config.router
+        if self.policy not in ROUTER_POLICIES:
+            raise ValueError(f"unknown router policy {self.policy!r}; "
+                             f"expected one of {ROUTER_POLICIES}")
+        self.reload: ReloadCostModel = cluster.reload
+        self.routed = 0
+        self.unroutable = 0
+        self.routed_per_node = [0] * len(cluster.nodes)
+
+    # -- placement -----------------------------------------------------------
+    def _key(self, slot: PoolSlot):
+        load = _slot_load(slot)
+        tail = (load, slot.node_index, slot.slot_index)
+        if self.policy == "free-cu":
+            return (-self.cluster.nodes[slot.node_index].free_cus(), *tail)
+        if self.policy == "affinity":
+            warm = slot.worker is not None
+            cold_cost = 0.0 if warm else \
+                self.reload.reload_time(slot.kernel_count)
+            return (0 if warm else 1, cold_cost, *tail)
+        return tail
+
+    def select(self, model: str) -> Optional[PoolSlot]:
+        """The policy's slot for one ``model`` request, or ``None`` when
+        no live node has an active slot for it."""
+        candidates = self.cluster.active_slots(model)
+        if not candidates:
+            return None
+        return min(candidates, key=self._key)
+
+    def route(self, request: InferenceRequest, *,
+              admission: bool = True) -> bool:
+        """Place ``request``; returns ``True`` once enqueued somewhere.
+
+        ``admission=False`` bypasses the queue-depth bound (re-routed
+        requests were already admitted once — the fault-driver retry
+        contract).  An unroutable request (every node down, or no active
+        slot for its model) is shed and counted.
+        """
+        slot = self.select(request.model_name)
+        if slot is None:
+            self.unroutable += 1
+            request.shed = True
+            tracer = self.cluster.sim.tracer
+            if tracer.enabled:
+                tracer.request_shed(request, "unroutable")
+            return False
+        self.routed += 1
+        self.routed_per_node[slot.node_index] += 1
+        if admission:
+            return slot.queue.offer(request)
+        slot.queue.put(request)
+        return True
+
+
+class FleetClient:
+    """Open-loop workload injection through the router.
+
+    The loop is :class:`~repro.workload.client.WorkloadClient` with
+    placement: one gap drawn from the cluster's ``arrivals`` stream per
+    emission, class from ``workload-mix``, LLM output length from
+    ``workload-lengths``, then :meth:`ClusterRouter.route` instead of a
+    fixed queue.  Arrivals rejected by admission or left unroutable are
+    lost (open-loop semantics); the next arrival is drawn regardless.
+    """
+
+    def __init__(self, cluster: ClusterSetup, router: ClusterRouter,
+                 spec: WorkloadSpec, stop_time: float) -> None:
+        self.sim = cluster.sim
+        self.router = router
+        self.spec = spec
+        self.stop_time = stop_time
+        self.issued = 0
+        self.issued_per_model: dict[str, int] = {}
+        self.process: Optional[Process] = None
+
+        configured = set(cluster.config.model_names)
+        missing = sorted({c.model for c in spec.request_classes()}
+                         - configured)
+        if missing:
+            raise ValueError(f"workload models {missing} are not in "
+                             f"cluster model_names {sorted(configured)}")
+
+        if isinstance(spec, TraceWorkloadSpec):
+            for entry in spec.entries:
+                if entry.time >= stop_time:
+                    continue
+                self.sim.schedule(entry.time, lambda e=entry: self._emit(
+                    e.model, e.batch_size, e.output_tokens))
+            return
+
+        classes = spec.request_classes()
+        self._classes = classes
+        self._arrivals_rng = cluster.rng.stream("arrivals")
+        self._mix_rng = cluster.rng.stream("workload-mix") \
+            if len(classes) > 1 else None
+        self._total_weight = sum(c.weight for c in classes)
+        self._lengths_rng = cluster.rng.stream("workload-lengths") \
+            if any(c.output_tokens is not None for c in classes) else None
+
+        if isinstance(spec.arrivals, TraceArrivals):
+            for t in spec.arrivals.times:
+                if t >= stop_time:
+                    continue
+                self.sim.schedule(t, self._emit_drawn_class)
+        else:
+            self.process = Process(self.sim, self._run(),
+                                   name="fleet-client")
+
+    def _run(self) -> Iterator:
+        for gap in self.spec.arrivals.gaps(self._arrivals_rng):
+            yield gap
+            if self.sim.now >= self.stop_time:
+                return
+            self._emit_drawn_class()
+
+    def _draw_class(self) -> int:
+        if self._mix_rng is None:
+            return 0
+        draw = float(self._mix_rng.random()) * self._total_weight
+        acc = 0.0
+        for index, cls in enumerate(self._classes):
+            acc += cls.weight
+            if draw < acc:
+                return index
+        return len(self._classes) - 1
+
+    def _emit_drawn_class(self) -> None:
+        cls = self._classes[self._draw_class()]
+        tokens: Optional[int] = None
+        if cls.output_tokens is not None:
+            lo, hi = cls.output_tokens
+            tokens = int(self._lengths_rng.integers(lo, hi + 1))
+        self._emit(cls.model, cls.batch_size, tokens)
+
+    def _emit(self, model: str, batch_size: int,
+              output_tokens: Optional[int]) -> None:
+        request = InferenceRequest(
+            model_name=model,
+            batch_size=batch_size,
+            arrival_time=self.sim.now,
+            output_tokens=output_tokens,
+        )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.request_arrival(request)
+        self.router.route(request)
+        self.issued += 1
+        self.issued_per_model[model] = \
+            self.issued_per_model.get(model, 0) + 1

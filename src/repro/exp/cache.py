@@ -43,6 +43,7 @@ from repro.server.experiment import (
     run_experiment,
 )
 from repro.server.metrics import LatencyStats
+from repro.server.options import RunOptions
 from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = [
@@ -139,13 +140,17 @@ def config_from_dict(payload: dict[str, Any]) -> ExperimentConfig:
 def cache_key(config: ExperimentConfig,
               constants: Optional[dict[str, Any]] = None,
               faults=None,
-              guard: Optional[SloGuard] = None) -> str:
+              guard: Optional[SloGuard] = None,
+              cluster: Optional[dict[str, Any]] = None) -> str:
     """Stable content hash of (config, code constants, repro version).
 
-    ``faults`` (a :class:`~repro.faults.FaultSchedule`) and ``guard``
-    (a :class:`~repro.server.slo.SloGuard`) are folded in **only when
-    given**, so every pre-existing fault-free key — and every cached
-    result under it — is untouched by the fault layer.
+    ``faults`` (a :class:`~repro.faults.FaultSchedule`), ``guard``
+    (a :class:`~repro.server.slo.SloGuard`), and ``cluster`` (a
+    JSON-native fleet-topology payload, see :func:`~repro.cluster
+    .experiment.cluster_cache_key`) are folded in **only when given**,
+    so every pre-existing single-device fault-free key — and every
+    cached result under it — is untouched by the fault and fleet
+    layers.
     """
     payload = {
         "config": config_to_dict(config),
@@ -155,6 +160,8 @@ def cache_key(config: ExperimentConfig,
         payload["faults"] = faults.to_dict()
     if guard is not None:
         payload["guard"] = guard.to_dict()
+    if cluster is not None:
+        payload["cluster"] = cluster
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -374,15 +381,17 @@ def rate_cache_key(config: ExperimentConfig, offered_rps: float,
                    duration: float,
                    constants: Optional[dict[str, Any]] = None,
                    workload=None, faults=None,
-                   guard: Optional[SloGuard] = None) -> str:
+                   guard: Optional[SloGuard] = None,
+                   cluster: Optional[dict[str, Any]] = None) -> str:
     """Stable content hash of one open-loop run's inputs.
 
-    ``workload`` (a :mod:`repro.workload` spec), ``faults``, and
-    ``guard`` are folded in **only when given** — the
-    :func:`cache_key` convention — so plain Poisson keys are unaffected
-    by the workload layer.  ``duration`` must be the *actual* run
-    length (resolve defaults via :func:`~repro.server.rate_experiment
-    .default_rate_duration` before keying).
+    ``workload`` (a :mod:`repro.workload` spec), ``faults``, ``guard``,
+    and ``cluster`` (a JSON-native fleet-topology payload) are folded
+    in **only when given** — the :func:`cache_key` convention — so
+    plain Poisson keys are unaffected by the workload and fleet layers.
+    ``duration`` must be the *actual* run length (resolve defaults via
+    :func:`~repro.server.rate_experiment.default_rate_duration` before
+    keying).
     """
     payload: dict[str, Any] = {
         "kind": "rate",
@@ -397,6 +406,8 @@ def rate_cache_key(config: ExperimentConfig, offered_rps: float,
         payload["faults"] = faults.to_dict()
     if guard is not None:
         payload["guard"] = guard.to_dict()
+    if cluster is not None:
+        payload["cluster"] = cluster
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode()).hexdigest()
 
@@ -539,8 +550,8 @@ def cached_run_rate_experiment(
     result = store.get(key)
     if result is None:
         result = run_rate_experiment(
-            config, offered_rps, duration, workload=workload,
-            faults=faults, guard=guard)
+            config, offered_rps, duration,
+            RunOptions(workload=workload, faults=faults, guard=guard))
         context: dict[str, Any] = {
             "config": config_to_dict(config),
             "offered_rps": offered_rps,
@@ -578,6 +589,7 @@ def cached_run_experiment(
     store = cache if cache is not None else default_cache()
     result = store.get(config, faults=faults, guard=guard)
     if result is None:
-        result = run_experiment(config, faults=faults, guard=guard)
+        result = run_experiment(
+            config, RunOptions(faults=faults, guard=guard))
         store.put(config, result, faults=faults, guard=guard)
     return result

@@ -187,6 +187,21 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+def _chaos_cell(config: ExperimentConfig, scenario: Optional[str],
+                guard: Optional[SloGuard], store: Optional[ResultCache]):
+    """One grid cell (``scenario=None`` = the policy's fault-free
+    baseline); also the process-pool worker, so runs are pure functions
+    of their arguments and pooled execution is bit-identical to serial."""
+    from repro.server.experiment import run_experiment
+    from repro.server.options import RunOptions
+
+    faults = build_scenario(scenario, config) if scenario else None
+    if store is not None:
+        return cached_run_experiment(config, store, faults=faults,
+                                     guard=guard)
+    return run_experiment(config, RunOptions(faults=faults, guard=guard))
+
+
 def run_chaos(
     model_names: Sequence[str],
     policies: Sequence[str],
@@ -199,6 +214,7 @@ def run_chaos(
     guard: Optional[SloGuard] = None,
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
+    jobs: int = 1,
     progress=None,
 ) -> ChaosReport:
     """Run the policy × scenario resilience grid.
@@ -206,9 +222,9 @@ def run_chaos(
     Every cell (including each policy's fault-free baseline) runs with
     the same :class:`SloGuard`, so deltas isolate the *faults*, not the
     guard rails.  Results route through the content-addressed cache.
+    ``jobs > 1`` fans the independent cells out over a process pool;
+    results are bit-identical to serial execution.
     """
-    from repro.server.experiment import run_experiment
-
     configs = {
         policy: ExperimentConfig(
             model_names=tuple(model_names), policy=policy,
@@ -219,30 +235,40 @@ def run_chaos(
     }
     the_guard = guard if guard is not None \
         else default_guard(next(iter(configs.values())))
-    store = cache if cache is not None else default_cache()
+    store = (cache if cache is not None else default_cache()) \
+        if use_cache else None
 
-    def run_cell(config, faults):
-        if use_cache:
-            return cached_run_experiment(config, store, faults=faults,
-                                         guard=the_guard)
-        return run_experiment(config, faults=faults, guard=the_guard)
-
-    total = len(policies) * (len(scenarios) + 1)
-    done = 0
-    cells = []
-    for policy, config in configs.items():
-        baseline = run_cell(config, None)
-        done += 1
-        if progress is not None:
-            progress(done, total, f"{policy}/baseline")
-        for scenario in scenarios:
-            schedule = build_scenario(scenario, config)
-            result = run_cell(config, schedule)
-            done += 1
+    grid = [(policy, scenario)
+            for policy in configs
+            for scenario in (None, *scenarios)]
+    total = len(grid)
+    results: dict[tuple[str, Optional[str]], object] = {}
+    if jobs > 1 and total > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+            futures = [pool.submit(_chaos_cell, configs[policy], scenario,
+                                   the_guard, store)
+                       for policy, scenario in grid]
+            for (policy, scenario), future in zip(grid, futures):
+                results[(policy, scenario)] = future.result()
+                if progress is not None:
+                    progress(len(results), total,
+                             f"{policy}/{scenario or 'baseline'}")
+    else:
+        for policy, scenario in grid:
+            results[(policy, scenario)] = _chaos_cell(
+                configs[policy], scenario, the_guard, store)
             if progress is not None:
-                progress(done, total, f"{policy}/{scenario}")
+                progress(len(results), total,
+                         f"{policy}/{scenario or 'baseline'}")
+
+    cells = []
+    for policy in configs:
+        baseline = results[(policy, None)]
+        for scenario in scenarios:
             cells.append(ChaosCell(policy=policy, scenario=scenario,
-                                   result=result, baseline=baseline))
+                                   result=results[(policy, scenario)],
+                                   baseline=baseline))
     return ChaosReport(
         model_names=tuple(model_names),
         batch_size=batch_size,

@@ -27,6 +27,12 @@ from repro.exp.cache import (
 )
 from repro.server.experiment import ExperimentConfig
 from repro.server.metrics import LatencyStats
+from repro.server.options import (
+    _UNSET,
+    RunOptions,
+    reject_unsupported,
+    resolve_run_options,
+)
 from repro.server.rate_experiment import (
     RateResult,
     default_rate_duration,
@@ -188,8 +194,8 @@ def _run_point(config: ExperimentConfig, offered_rps: float,
     """One pooled load point; exceptions cross the pool as strings."""
     try:
         result = run_rate_experiment(
-            config, offered_rps, duration, workload=workload,
-            faults=faults, guard=guard)
+            config, offered_rps, duration,
+            RunOptions(workload=workload, faults=faults, guard=guard))
         return offered_rps, result, None
     except Exception as exc:  # noqa: BLE001 - report, don't hang the pool
         import traceback
@@ -204,8 +210,9 @@ def run_load_curve(
     rates: Optional[tuple[float, ...]] = None,
     scales: tuple[float, ...] = DEFAULT_SCALES,
     duration: Optional[float] = None,
-    guard: Optional[SloGuard] = None,
-    faults=None,
+    options: Optional[RunOptions] = None,
+    guard=_UNSET,
+    faults=_UNSET,
     jobs: int = 1,
     use_cache: bool = True,
     cache: Optional[RateResultCache] = None,
@@ -229,7 +236,19 @@ def run_load_curve(
     locally with a :class:`~repro.obs.flight.FlightRecorder` (cache
     reads and the process pool are bypassed; results are still written
     back, and are bit-identical — recording is pure observation).
+
+    Harness options arrive via ``options=``
+    (:class:`~repro.server.options.RunOptions`); the ``guard``/``faults``
+    keywords are deprecated shims mapping into it.  The workload is this
+    function's positional argument, so ``options.workload`` — like the
+    fields a pooled curve cannot honour (``tracer``, ``recorder``,
+    ``metrics``, ``audit``) — is rejected.
     """
+    opts = resolve_run_options("run_load_curve", options, guard=guard,
+                               faults=faults)
+    reject_unsupported("run_load_curve", opts, "tracer", "recorder",
+                       "metrics", "audit", "workload")
+    guard, faults = opts.guard, opts.faults
     if rates is None:
         base = workload.offered_rps()
         rates = tuple(base * scale for scale in scales)
@@ -288,8 +307,9 @@ def run_load_curve(
             recorder = FlightRecorder()
             try:
                 result = run_rate_experiment(
-                    config, rate, duration, workload=specs[rate],
-                    faults=faults, guard=guard, recorder=recorder)
+                    config, rate, duration,
+                    RunOptions(workload=specs[rate], faults=faults,
+                               guard=guard, recorder=recorder))
             except Exception as exc:  # noqa: BLE001 - mirror _run_point
                 import traceback
                 record(rate, None,

@@ -40,6 +40,12 @@ from repro.server.experiment import (
     ExperimentResult,
     run_experiment,
 )
+from repro.server.options import (
+    _UNSET,
+    RunOptions,
+    reject_unsupported,
+    resolve_run_options,
+)
 
 __all__ = [
     "CellFailure",
@@ -202,7 +208,8 @@ def _run_cell(config: ExperimentConfig, faults=None, guard=None):
     so only plain strings cross the process boundary."""
     start = time.perf_counter()
     try:
-        result = run_experiment(config, faults=faults, guard=guard)
+        result = run_experiment(
+            config, RunOptions(faults=faults, guard=guard))
         return result, time.perf_counter() - start, None, None
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         return (None, time.perf_counter() - start,
@@ -216,9 +223,10 @@ def run_sweep(
     cache_store: Optional[ResultCache] = None,
     retries: int = 1,
     progress: Optional[ProgressFn] = None,
-    metrics=None,
-    faults=None,
-    guard=None,
+    options: Optional[RunOptions] = None,
+    metrics=_UNSET,
+    faults=_UNSET,
+    guard=_UNSET,
 ) -> SweepReport:
     """Run every cell of ``sweep``; never raises for individual cells.
 
@@ -227,18 +235,30 @@ def run_sweep(
     result store entirely (no reads, no writes).  Each failing cell is
     retried ``retries`` more times before landing in ``report.failed``.
 
-    ``faults`` (a :class:`~repro.faults.FaultSchedule`) and ``guard``
-    (a :class:`~repro.server.slo.SloGuard`) apply to **every** cell; the
-    cache keys them separately from fault-free cells, and schedules
-    pickle cleanly across the process pool, so fault-injected sweeps are
-    exactly as parallel and cacheable as fault-free ones.
+    Harness options arrive via ``options=``
+    (:class:`~repro.server.options.RunOptions`); the ``metrics``/
+    ``faults``/``guard`` keywords are deprecated shims mapping into it.
+    Fields a process-pooled sweep cannot honour (``tracer``,
+    ``recorder``, ``audit``, ``workload``) are rejected.
 
-    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives live
-    ``sweep_cache_hits_total`` / ``sweep_cache_misses_total`` counters, a
-    ``sweep_last_cell_seconds`` gauge, and a ``sweep_cell_seconds``
-    histogram — updated as cells resolve so a progress callback can read
-    them mid-sweep.
+    ``options.faults`` (a :class:`~repro.faults.FaultSchedule`) and
+    ``options.guard`` (a :class:`~repro.server.slo.SloGuard`) apply to
+    **every** cell; the cache keys them separately from fault-free
+    cells, and schedules pickle cleanly across the process pool, so
+    fault-injected sweeps are exactly as parallel and cacheable as
+    fault-free ones.
+
+    ``options.metrics`` (a :class:`repro.obs.MetricsRegistry`) receives
+    live ``sweep_cache_hits_total`` / ``sweep_cache_misses_total``
+    counters, a ``sweep_last_cell_seconds`` gauge, and a
+    ``sweep_cell_seconds`` histogram — updated as cells resolve so a
+    progress callback can read them mid-sweep.
     """
+    opts = resolve_run_options("run_sweep", options, metrics=metrics,
+                               faults=faults, guard=guard)
+    reject_unsupported("run_sweep", opts, "tracer", "recorder", "audit",
+                       "workload")
+    metrics, faults, guard = opts.metrics, opts.faults, opts.guard
     cells = Sweep(sweep).cells if not isinstance(sweep, Sweep) \
         else sweep.cells
     if jobs is None:

@@ -25,6 +25,7 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultSchedule,
     KernelStraggler,
+    NodeCrash,
     PerfDbDropout,
     ReloadCostModel,
     RequestStorm,
@@ -38,6 +39,7 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "KernelStraggler",
+    "NodeCrash",
     "PerfDbDropout",
     "ReloadCostModel",
     "RequestStorm",

@@ -27,6 +27,7 @@ from repro.faults.schedule import (
     BandwidthSpike,
     FaultSchedule,
     KernelStraggler,
+    NodeCrash,
     PerfDbDropout,
     RequestStorm,
     WorkerCrash,
@@ -74,6 +75,9 @@ class FaultInjector:
             elif isinstance(event, PerfDbDropout):
                 sim.schedule(event.time,
                              lambda e=event: self._dropout(e))
+            elif isinstance(event, NodeCrash):
+                sim.schedule(event.time,
+                             lambda e=event: self._node_crash(e))
 
     def _record(self, event, args: dict) -> None:
         self.injected += 1
@@ -100,6 +104,29 @@ class FaultInjector:
             reload_time = self.schedule.reload.reload_time(
                 worker.kernel_count)
             self.setup.sim.schedule_in(reload_time, worker.restart)
+
+    def _node_crash(self, event: NodeCrash) -> None:
+        """Whole-node crash on a single-device setup: this setup *is*
+        node 0, so every worker dies at once and the node restarts after
+        one shared reload (workers reload in parallel).  Fleet runs route
+        ``NodeCrash`` through the cluster fault driver instead."""
+        workers = self.setup.workers
+        if not workers:
+            return
+        self._record(event, {"node": event.node,
+                             "restart": event.restart})
+        orphans = []
+        for worker in workers:
+            orphan = worker.crash()
+            if orphan is not None:
+                orphans.append((orphan, worker))
+        for orphan, worker in orphans:
+            self._retry(orphan, worker)
+        if event.restart:
+            reload_time = self.schedule.reload.reload_time(
+                max(worker.kernel_count for worker in workers))
+            for worker in workers:
+                self.setup.sim.schedule_in(reload_time, worker.restart)
 
     def _retry(self, request: InferenceRequest, worker) -> None:
         guard = self.guard

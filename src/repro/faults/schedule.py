@@ -45,6 +45,7 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "KernelStraggler",
+    "NodeCrash",
     "PerfDbDropout",
     "ReloadCostModel",
     "RequestStorm",
@@ -153,8 +154,32 @@ class PerfDbDropout:
             raise ValueError("fraction must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class NodeCrash:
+    """Fleet node ``node`` crashes whole at ``time``.
+
+    The node-level generalisation of :class:`WorkerCrash`: every worker
+    on the device dies at once, pending queue entries are re-routed
+    (cluster runs route them to surviving nodes through the router;
+    single-device runs bounded-retry them locally), and the node — all
+    its workers — restarts after one :class:`ReloadCostModel` reload
+    unless ``restart=False``.
+    """
+
+    time: float
+    node: int = 0
+    restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("crash time must be >= 0")
+        if self.node < 0:
+            raise ValueError("node index must be >= 0")
+
+
 FaultEvent = Union[
-    WorkerCrash, KernelStraggler, BandwidthSpike, RequestStorm, PerfDbDropout
+    WorkerCrash, KernelStraggler, BandwidthSpike, RequestStorm,
+    PerfDbDropout, NodeCrash,
 ]
 
 #: Stable kind tags for (de)serialisation, in a fixed registry order.
@@ -164,6 +189,7 @@ _EVENT_KINDS: dict[str, type] = {
     "bandwidth_spike": BandwidthSpike,
     "request_storm": RequestStorm,
     "perfdb_dropout": PerfDbDropout,
+    "node_crash": NodeCrash,
 }
 _KIND_OF = {cls: kind for kind, cls in _EVENT_KINDS.items()}
 

@@ -424,7 +424,14 @@ class GpuDevice:
         numbers (the deterministic tie-breakers) coincide.
         """
         running = self._running
-        if dirty is None or self.full_recompute or len(dirty) == len(running):
+        # Crossover to the full sweep once the dirty set covers at least
+        # half the residents: sorted(dirty) + per-record dict lookups
+        # cost more than the plain dict scan beyond that fraction (the
+        # incremental path's win on the colo4/maskgen bench shapes was
+        # negative at ~90% dirty).  Both paths visit the same records in
+        # the same relative order, so the switch is bit-identical.
+        if dirty is None or self.full_recompute \
+                or len(dirty) * 2 >= len(running):
             self._recompute_rates(running.values())
         else:
             # Dirty entries are per-device seq numbers, so a plain int

@@ -26,6 +26,7 @@ from repro.server.experiment import (
     slo_target,
 )
 from repro.server.metrics import LatencyStats, geomean, percentile
+from repro.server.options import RunOptions
 from repro.server.policies import POLICY_NAMES, get_policy
 from repro.server.rate_experiment import (
     RateResult,
@@ -43,6 +44,7 @@ __all__ = [
     "normalized_rps",
     "run_experiment",
     "slo_target",
+    "RunOptions",
     "RateResult",
     "max_sustainable_rate",
     "run_rate_experiment",

@@ -14,9 +14,7 @@ force re-profiling.
 
 from __future__ import annotations
 
-import warnings
 from functools import lru_cache
-from pathlib import Path
 
 from repro.core.perfdb import PerfDatabase
 from repro.models.zoo import get_model
@@ -26,24 +24,6 @@ from repro.profiling.model_profiler import profile_model
 __all__ = ["combined_database", "model_database", "model_right_size"]
 
 _RIGHTSIZE_TOLERANCE = 0.05
-
-
-def cache_path() -> Path:
-    """Deprecated location shim for the persistent right-size cache.
-
-    .. deprecated::
-        The store lives in :mod:`repro.exp.cache`; build it directly with
-        ``JsonStore(cache_root() / "rightsize.json")``.  This shim emits a
-        :class:`DeprecationWarning` and will be removed next release.
-    """
-    warnings.warn(
-        "repro.server.profiles.cache_path() is deprecated; use "
-        "repro.exp.cache.cache_root() / 'rightsize.json' via JsonStore",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.exp.cache import cache_root
-    return cache_root() / "rightsize.json"
 
 
 def _store():

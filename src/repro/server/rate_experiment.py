@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.server.experiment import ExperimentConfig, slo_target
 from repro.server.metrics import LatencyStats
+from repro.server.options import _UNSET, RunOptions, resolve_run_options
 from repro.server.slo import ResilienceStats, SloGuard
 
 __all__ = ["RateResult", "default_rate_duration", "run_rate_experiment",
@@ -59,14 +60,16 @@ def run_rate_experiment(
     config: ExperimentConfig,
     offered_rps: Optional[float] = None,
     duration: Optional[float] = None,
+    options: Optional[RunOptions] = None,
     *,
-    workload=None,
-    tracer=None,
-    recorder=None,
-    metrics=None,
-    sample_interval: float = 250e-6,
-    faults=None,
-    guard: Optional[SloGuard] = None,
+    workload=_UNSET,
+    tracer=_UNSET,
+    recorder=_UNSET,
+    metrics=_UNSET,
+    sample_interval=_UNSET,
+    faults=_UNSET,
+    guard=_UNSET,
+    audit=_UNSET,
 ) -> RateResult:
     """Drive the deployment open-loop and measure end-to-end latency.
 
@@ -76,49 +79,44 @@ def run_rate_experiment(
     Requests arrive in batches of ``config.batch_size``, so the arrival
     rate of batches is ``offered_rps / batch_size``.
 
+    Harness options travel in a single frozen
+    :class:`~repro.server.options.RunOptions` passed as ``options=``;
+    the per-keyword spellings below are deprecated shims mapping into
+    it (and cannot be mixed with ``options=``).
+
     Parameters
     ----------
     offered_rps:
         Offered load in requests per second.  Optional when
-        ``workload`` is given (it then defaults to the spec's
+        ``options.workload`` is given (it then defaults to the spec's
         ``offered_rps()``); passing both pins the RNG fork label to the
         explicit rate, which the Poisson-equivalence tests rely on.
     duration:
         Run length in sim seconds; defaults to
         :func:`default_rate_duration`.
-    workload:
-        A :mod:`repro.workload` spec.  Replaces the Poisson client with
-        the spec's arrival process and request mix via
-        :meth:`~repro.server.setup.ServingSetup.add_workload`.  A
+    options:
+        A :class:`~repro.server.options.RunOptions`.  ``workload`` (a
+        :mod:`repro.workload` spec) replaces the Poisson client with the
+        spec's arrival process and request mix via
+        :meth:`~repro.server.setup.ServingSetup.add_workload` — a
         homogeneous Poisson spec at the same rate is bit-identical to
-        the legacy path.  Every class's ``batch_size`` must equal
-        ``config.batch_size`` (the throughput accounting assumes one).
-    tracer:
-        A :class:`~repro.obs.tracer.Tracer`; when given, requests,
-        kernels, and queue depths are traced (pure observation — the
-        result is unchanged).
-    recorder:
-        A :class:`~repro.obs.flight.FlightRecorder`; when given, every
-        request's flight (enqueue/dequeue/phases/kernels) is captured
-        for latency attribution.  Pure observation, composable with
-        ``tracer``.
-    metrics:
-        A :class:`~repro.obs.metrics.MetricsRegistry`; when given, a
-        sim-clock sampler records occupancy/queue-depth series.
-    sample_interval:
-        The sampler period in sim seconds (only used with ``metrics``).
-    faults:
-        A :class:`~repro.faults.FaultSchedule` to inject during the run.
-    guard:
-        An :class:`~repro.server.slo.SloGuard`; enables admission
-        control, deadline shedding, and bounded retry, and makes the
-        result carry :class:`~repro.server.slo.ResilienceStats`.
-
-    ``tracer``/``metrics``/``sample_interval``/``faults``/``guard``
-    mirror :func:`repro.server.experiment.run_experiment` (the aligned
-    keyword surface).
+        the legacy path, and every class's ``batch_size`` must equal
+        ``config.batch_size``.  ``tracer``/``recorder``/``metrics``/
+        ``sample_interval``/``faults``/``guard``/``audit`` mirror
+        :func:`repro.server.experiment.run_experiment` (the aligned
+        option surface): observation hooks are pure, ``guard`` or a
+        non-empty ``faults`` make the result carry
+        :class:`~repro.server.slo.ResilienceStats`.
     """
     from repro.server.setup import ServingSetup
+
+    opts = resolve_run_options(
+        "run_rate_experiment", options, workload=workload, tracer=tracer,
+        recorder=recorder, metrics=metrics, sample_interval=sample_interval,
+        faults=faults, guard=guard, audit=audit)
+    workload, tracer, recorder = opts.workload, opts.tracer, opts.recorder
+    metrics, sample_interval = opts.metrics, opts.sample_interval
+    faults, guard, audit = opts.faults, opts.guard, opts.audit
 
     if workload is not None:
         mismatched = sorted({c.batch_size
@@ -154,6 +152,8 @@ def run_rate_experiment(
         setup.start_sampler(metrics, sample_interval, stop_time=duration)
 
     sim.run(until=duration)
+    if audit is not None:
+        audit(setup, injector)
 
     faulted = guard is not None or injector is not None
     latencies = []

@@ -69,6 +69,7 @@ class ServingSetup:
         tracer=None,
         guard: Optional[SloGuard] = None,
         recorder=None,
+        sim: Optional[Simulator] = None,
     ) -> "ServingSetup":
         """Assemble device, RNG, policy, and streams for ``config``.
 
@@ -80,12 +81,24 @@ class ServingSetup:
         ``recorder`` are given they are fanned out through a
         :class:`~repro.obs.flight.TeeTracer`.  Pure observation either
         way — results are bit-identical with and without it.
+
+        ``sim`` injects an existing simulator so several setups (one per
+        fleet node) share one event clock; the default path constructs
+        its own in the exact historical position (object creation order
+        determines event sequence numbers at t=0).  A shared simulator
+        already carries its tracer, so ``tracer``/``recorder`` must be
+        ``None`` then.
         """
+        if sim is not None and (tracer is not None or recorder is not None):
+            raise ValueError(
+                "tracer/recorder belong to the shared simulator; attach "
+                "them where it is created, not per setup")
         if recorder is not None:
             from repro.obs.flight import compose_tracers
             tracer = compose_tracers(tracer, recorder)
         topology = GpuTopology.mi50()
-        sim = Simulator(tracer=tracer)
+        if sim is None:
+            sim = Simulator(tracer=tracer)
         device = GpuDevice(sim, topology, exec_config=config.exec_config())
         rng = RngRegistry(config.seed).fork(rng_label)
         plans = [WorkerPlan(get_model(name), config.batch_size)
@@ -110,18 +123,20 @@ class ServingSetup:
 
     def add_worker(self, index: int, queue: RequestQueue, *,
                    stop_time: float, on_complete=None,
-                   segments_for=None) -> Worker:
+                   segments_for=None, name: Optional[str] = None) -> Worker:
         """Worker ``index`` over its plan/stream, on ``queue``.
 
         Names follow the historical scheme (``worker-{i}`` processes,
-        ``host-{i}`` RNG streams) so seeded runs reproduce exactly.
+        ``host-{i}`` RNG streams) so seeded runs reproduce exactly;
+        ``name`` overrides the process name (fleet nodes disambiguate
+        their workers) without touching the RNG stream.
         ``segments_for`` optionally overrides the static plan segments
         per request (LLM variable output lengths).
         """
         plan = self.plans[index]
         worker = Worker(
             self.sim,
-            name=f"worker-{index}",
+            name=name if name is not None else f"worker-{index}",
             stream=self.streams[index],
             segments=plan.model.segments(plan.batch_size, self.topology),
             queue=queue,
@@ -227,12 +242,19 @@ class ServingSetup:
         return client
 
     def start_sampler(self, metrics, sample_interval: float,
-                      stop_time: float) -> None:
-        """Attach the periodic occupancy/queue-depth sampler."""
+                      stop_time: float, prefix: str = "krisp"):
+        """Attach the periodic occupancy/queue-depth sampler.
+
+        ``prefix`` namespaces the metric families (fleet nodes use
+        ``node{i}`` so one registry holds every device's series).
+        Returns the sampler so callers can force off-cycle samples.
+        """
         from repro.obs.sampler import SimSampler
         sampler = SimSampler(self.sim, self.device, metrics,
-                             queues=self.queues, interval=sample_interval)
+                             queues=self.queues, interval=sample_interval,
+                             prefix=prefix)
         sampler.start(stop_time=stop_time)
+        return sampler
 
     # -- accounting ---------------------------------------------------------
     def degraded_count(self) -> int:

@@ -9,6 +9,7 @@ from repro.check import (
 )
 from repro.core.allocation import DistributionPolicy
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 
 
 @pytest.mark.parametrize("policy", list(DistributionPolicy))
@@ -46,7 +47,7 @@ def test_audit_hook_sees_clean_end_state():
     run_experiment(
         ExperimentConfig(("squeezenet", "shufflenet"), policy="krisp-i",
                          requests_scale=0.1, seed=4),
-        audit=audit,
+        options=RunOptions(audit=audit),
     )
     assert observed != [] and all(v == [] for v in observed)
 

@@ -23,6 +23,7 @@ from repro.check import (
 )
 from repro.core.allocation import DistributionPolicy
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 
 _POLICIES = list(DistributionPolicy)
 _LIMITS = (None, 0, 4, 12)
@@ -79,8 +80,10 @@ def test_experiment_invariants_hold(seed):
 
     run_experiment(
         config,
-        faults=chaos_faults(config) if injected else None,
-        guard=CHAOS_GUARD if injected else None,
-        audit=audit,
+        RunOptions(
+            faults=chaos_faults(config) if injected else None,
+            guard=CHAOS_GUARD if injected else None,
+            audit=audit,
+        ),
     )
     assert observed != [] and all(v == [] for v in observed)

@@ -1,0 +1,76 @@
+"""Tests for the load-driven pool autoscaler's control law."""
+
+from repro.cluster import AutoscalerConfig, ClusterConfig, run_cluster_experiment
+from repro.workload.arrivals import OnOffArrivals, PoissonArrivals
+from repro.workload.spec import HomogeneousWorkloadSpec
+
+
+def _config(**overrides):
+    base = dict(devices=2, model_names=("squeezenet",), batch_size=4,
+                pool_size=3, pool_min=1)
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+def _storm_spec():
+    # 400 rps bursts alternating with silence: drives the pools up during
+    # the ON phase and back down while the backlog drains.
+    return HomogeneousWorkloadSpec(
+        model="squeezenet",
+        arrivals=OnOffArrivals(on_rate=100.0, on_duration=0.3,
+                               off_duration=0.3),
+        batch_size=4)
+
+
+def _storm_result():
+    return run_cluster_experiment(_config(), _storm_spec(), duration=1.5)
+
+
+def test_storm_scales_up_then_down():
+    result = _storm_result()
+    assert result.scale_ups >= 1
+    assert result.scale_downs >= 1
+    assert result.conservation_ok
+    # Scale-downs never cut below the configured floor.
+    for event in result.scale_events:
+        if event.action == "down":
+            assert event.active_after >= AutoscalerConfig().min_active
+
+
+def test_churn_is_bounded_by_window_and_cooldown():
+    config = AutoscalerConfig()
+    events = _storm_result().scale_events
+    assert events
+    times = [e.time for e in events]
+    for i, t in enumerate(times):
+        in_window = sum(1 for u in times[:i + 1] if u > t - config.window)
+        assert in_window <= config.max_actions_per_window
+    # Per-model cooldown: consecutive actions on one model are spaced.
+    by_model: dict = {}
+    for event in events:
+        last = by_model.get(event.model)
+        if last is not None:
+            assert event.time - last >= config.cooldown - 1e-12
+        by_model[event.model] = event.time
+
+
+def test_disabled_autoscaler_freezes_the_pools():
+    result = run_cluster_experiment(_config(), _storm_spec(), duration=1.0,
+                                    autoscaler=None)
+    assert result.scale_events == ()
+    assert result.conservation_ok
+
+
+def test_light_load_never_scales_up():
+    spec = HomogeneousWorkloadSpec(
+        model="squeezenet", arrivals=PoissonArrivals(5.0), batch_size=4)
+    result = run_cluster_experiment(_config(), spec, duration=1.0)
+    assert result.scale_ups == 0
+
+
+def test_scale_events_roundtrip_and_order():
+    events = _storm_result().scale_events
+    from repro.cluster import ScaleEvent
+    for event in events:
+        assert ScaleEvent.from_dict(event.to_dict()) == event
+    assert list(events) == sorted(events, key=lambda e: e.time)

@@ -32,6 +32,7 @@ from repro.server.experiment import (
     run_experiment,
 )
 from repro.server.slo import ResilienceStats, SloGuard
+from repro.server.options import RunOptions
 
 #: Small, fast cell reused by every integration test here.
 CONFIG = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
@@ -104,12 +105,13 @@ def test_fault_injected_runs_are_bit_identical(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     schedule = _mixed_schedule(CONFIG)
 
-    serial = run_experiment(CONFIG, faults=schedule, guard=GUARD)
-    pooled = run_sweep([CONFIG], jobs=2, cache=True, faults=schedule,
-                       guard=GUARD)
+    serial = run_experiment(CONFIG,
+                            RunOptions(faults=schedule, guard=GUARD))
+    pooled = run_sweep([CONFIG], jobs=2, cache=True,
+                       options=RunOptions(faults=schedule, guard=GUARD))
     assert pooled.ok and pooled.ran == 1
-    warm = run_sweep([CONFIG], jobs=2, cache=True, faults=schedule,
-                     guard=GUARD)
+    warm = run_sweep([CONFIG], jobs=2, cache=True,
+                     options=RunOptions(faults=schedule, guard=GUARD))
     assert warm.ok and warm.cached == 1 and warm.ran == 0
 
     for report in (pooled, warm):
@@ -144,7 +146,8 @@ def test_crash_and_dropout_complete_with_counters(monkeypatch, tmp_path):
         WorkerCrash(time=warmup + 0.3 * span, worker=0),
         PerfDbDropout(time=warmup + 0.1 * span, fraction=0.5),
     ), seed=0)
-    result = run_experiment(CONFIG, faults=schedule, guard=GUARD)
+    result = run_experiment(CONFIG,
+                            RunOptions(faults=schedule, guard=GUARD))
     res = result.resilience
     assert res is not None
     assert res.crashes == 1 and res.restarts == 1
@@ -158,12 +161,16 @@ def test_straggler_and_spike_perturb_the_timeline(monkeypatch, tmp_path):
     warmup, end = measurement_window(CONFIG)
     span = end - warmup
     base = run_experiment(CONFIG)
-    straggle = run_experiment(CONFIG, faults=FaultSchedule(events=(
-        KernelStraggler(start=warmup + 0.2 * span, duration=0.3 * span,
-                        multiplier=4.0),)), guard=GUARD)
-    spike = run_experiment(CONFIG, faults=FaultSchedule(events=(
-        BandwidthSpike(start=warmup + 0.2 * span, duration=0.3 * span,
-                       demand=1.5),)), guard=GUARD)
+    straggle = run_experiment(CONFIG, RunOptions(
+        faults=FaultSchedule(events=(
+            KernelStraggler(start=warmup + 0.2 * span, duration=0.3 * span,
+                            multiplier=4.0),)),
+        guard=GUARD))
+    spike = run_experiment(CONFIG, RunOptions(
+        faults=FaultSchedule(events=(
+            BandwidthSpike(start=warmup + 0.2 * span, duration=0.3 * span,
+                           demand=1.5),)),
+        guard=GUARD))
     assert straggle.max_p95() > base.max_p95()
     assert spike.max_p95() > base.max_p95()
 
@@ -179,7 +186,8 @@ def test_shed_requests_skip_latency_but_are_counted(monkeypatch, tmp_path):
     storm = FaultSchedule(events=(
         RequestStorm(start=warmup + 0.1 * span, duration=0.5 * span,
                      count=64),))
-    result = run_experiment(CONFIG, faults=storm, guard=tight)
+    result = run_experiment(CONFIG,
+                            RunOptions(faults=storm, guard=tight))
     res = result.resilience
     assert res is not None
     assert res.shed > 0
@@ -194,7 +202,7 @@ def test_shed_requests_skip_latency_but_are_counted(monkeypatch, tmp_path):
 
 def test_guard_alone_reports_resilience(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    result = run_experiment(CONFIG, guard=GUARD)
+    result = run_experiment(CONFIG, RunOptions(guard=GUARD))
     res = result.resilience
     assert res is not None
     assert res.shed == res.retried == res.crashes == 0

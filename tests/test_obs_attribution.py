@@ -33,6 +33,7 @@ from repro.obs.attribution import (
 from repro.obs.flight import FlightRecorder, KernelWindow, PhaseMark, \
     RequestFlight
 from repro.obs.metrics import MetricsRegistry
+from repro.server.options import RunOptions
 from repro.server.experiment import ExperimentConfig, measurement_window, \
     run_experiment
 from repro.server.slo import SloGuard
@@ -176,8 +177,8 @@ def test_summarize_reports_llm_phase_split():
     spec = HomogeneousWorkloadSpec(
         "llm-tiny", PoissonArrivals(rate=40.0), batch_size=1)
     recorder = FlightRecorder()
-    run_rate_experiment(config, 40.0, 0.5, workload=spec,
-                        recorder=recorder)
+    run_rate_experiment(config, 40.0, 0.5,
+                        RunOptions(workload=spec, recorder=recorder))
     summary = summarize(recorder.flights())
     assert summary["requests"] > 0
     split = summary["llm_phase_split"]["llm-tiny"]["population"]
@@ -233,7 +234,8 @@ def test_components_nonnegative_and_sum_exactly_under_fault_churn(plan):
             max_retries=plan["retries"], retry_backoff=1e-3)
 
     recorder = FlightRecorder()
-    run_experiment(SMALL, recorder=recorder, faults=faults, guard=guard)
+    run_experiment(SMALL, RunOptions(recorder=recorder, faults=faults,
+                                     guard=guard))
 
     decomposed = []
     for flight in recorder.completed_flights():

@@ -13,6 +13,7 @@ from repro.exp.cache import result_hash
 from repro.obs.flight import FlightRecorder, TeeTracer, compose_tracers
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 
 #: Same pin as tests/test_serving_setup.py / tests/test_workload_load.py.
 FIG13A = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
@@ -28,20 +29,20 @@ SMALL = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
 
 def test_recorder_leaves_result_hash_byte_identical():
     recorder = FlightRecorder()
-    recorded = run_experiment(FIG13A, recorder=recorder)
+    recorded = run_experiment(FIG13A, RunOptions(recorder=recorder))
     assert result_hash(recorded) == FIG13A_RESULT_SHA
     assert recorder.completed_flights()
 
 
 def test_tee_with_tracer_leaves_trace_bytes_identical(tmp_path):
     alone = Tracer()
-    run_experiment(SMALL, tracer=alone)
+    run_experiment(SMALL, RunOptions(tracer=alone))
     alone_path = tmp_path / "alone.json"
     alone.write_chrome_trace(alone_path)
 
     teed = Tracer()
     recorder = FlightRecorder()
-    run_experiment(SMALL, tracer=teed, recorder=recorder)
+    run_experiment(SMALL, RunOptions(tracer=teed, recorder=recorder))
     teed_path = tmp_path / "teed.json"
     teed.write_chrome_trace(teed_path)
 
@@ -53,7 +54,7 @@ def test_tee_with_tracer_leaves_trace_bytes_identical(tmp_path):
 
 def test_recorder_captures_full_flight_timeline():
     recorder = FlightRecorder()
-    run_experiment(SMALL, recorder=recorder)
+    run_experiment(SMALL, RunOptions(recorder=recorder))
     flights = recorder.completed_flights()
     assert flights
     for flight in flights:
@@ -83,11 +84,13 @@ def test_recorder_tracks_sheds_and_retries_under_chaos():
     from repro.bench.scenarios import CHAOS_CONFIG, CHAOS_GUARD, chaos_faults
 
     recorder = FlightRecorder()
-    plain = run_experiment(CHAOS_CONFIG, faults=chaos_faults(CHAOS_CONFIG),
-                           guard=CHAOS_GUARD)
-    recorded = run_experiment(CHAOS_CONFIG, recorder=recorder,
-                              faults=chaos_faults(CHAOS_CONFIG),
-                              guard=CHAOS_GUARD)
+    plain = run_experiment(
+        CHAOS_CONFIG, RunOptions(faults=chaos_faults(CHAOS_CONFIG),
+                                 guard=CHAOS_GUARD))
+    recorded = run_experiment(
+        CHAOS_CONFIG, RunOptions(recorder=recorder,
+                                 faults=chaos_faults(CHAOS_CONFIG),
+                                 guard=CHAOS_GUARD))
     assert result_hash(plain) == result_hash(recorded)
 
     flights = recorder.flights()

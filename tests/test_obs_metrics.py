@@ -9,6 +9,7 @@ from repro.obs.metrics import (
     exponential_buckets,
     linear_buckets,
 )
+from repro.server.options import RunOptions
 
 
 # -- primitives --------------------------------------------------------------
@@ -164,7 +165,7 @@ def test_sampling_does_not_change_results():
                               requests_scale=0.1)
     plain = run_experiment(config)
     registry = MetricsRegistry()
-    sampled = run_experiment(config, metrics=registry)
+    sampled = run_experiment(config, RunOptions(metrics=registry))
     assert sampled.workers == plain.workers
     assert sampled.energy_joules == plain.energy_joules
     assert registry.counter("krisp_samples_total").value > 0
@@ -182,7 +183,7 @@ def test_run_sweep_records_cache_metrics(tmp_path, monkeypatch):
                               requests_scale=0.1)]
 
     cold = MetricsRegistry()
-    report = run_sweep(cells, jobs=1, metrics=cold)
+    report = run_sweep(cells, jobs=1, options=RunOptions(metrics=cold))
     assert report.ok and report.ran == 1
     assert cold.counter("sweep_cache_hits_total").value == 0
     assert cold.counter("sweep_cache_misses_total").value == 1
@@ -190,7 +191,7 @@ def test_run_sweep_records_cache_metrics(tmp_path, monkeypatch):
     assert cold.histogram("sweep_cell_seconds").count == 1
 
     warm = MetricsRegistry()
-    report = run_sweep(cells, jobs=1, metrics=warm)
+    report = run_sweep(cells, jobs=1, options=RunOptions(metrics=warm))
     assert report.cached == 1
     assert warm.counter("sweep_cache_hits_total").value == 1
     assert warm.counter("sweep_cache_misses_total").value == 0

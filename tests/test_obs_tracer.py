@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 from repro.sim.engine import Simulator
 
 #: One small, fast co-location cell exercising every hook site.
@@ -15,7 +16,7 @@ CELL = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
 
 def _traced_run(config=CELL):
     tracer = Tracer()
-    run_experiment(config, tracer=tracer)
+    run_experiment(config, RunOptions(tracer=tracer))
     return tracer
 
 
@@ -43,7 +44,7 @@ def test_null_tracer_hooks_are_no_ops():
 
 def test_untraced_run_matches_traced_run():
     plain = run_experiment(CELL)
-    traced = run_experiment(CELL, tracer=Tracer())
+    traced = run_experiment(CELL, RunOptions(tracer=Tracer()))
     assert plain.workers == traced.workers
     assert plain.total_rps == traced.total_rps
     assert plain.energy_joules == traced.energy_joules

@@ -2,24 +2,18 @@
 
 import json
 
-import pytest
-
 from repro.server import profiles
 from repro.server.profiles import (
-    cache_path,
     combined_database,
     model_database,
     model_right_size,
 )
 
 
-def test_cache_path_honours_env_and_is_deprecated(monkeypatch, tmp_path):
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    with pytest.warns(DeprecationWarning, match="cache_path"):
-        assert cache_path() == tmp_path / "rightsize.json"
-
-
-def test_cache_path_not_exported():
+def test_cache_path_shim_is_gone():
+    # Deprecated since PR 3, removed with the RunOptions consolidation:
+    # the store lives in repro.exp.cache (JsonStore under cache_root()).
+    assert not hasattr(profiles, "cache_path")
     assert "cache_path" not in profiles.__all__
 
 

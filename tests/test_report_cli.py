@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.server.options import RunOptions
 
 SPEC_YAML = """\
 arrivals:
@@ -111,8 +112,9 @@ def test_sampler_covers_per_model_workload_queues():
     config = ExperimentConfig(("squeezenet", "mobilenet"),
                               policy="krisp-i", batch_size=4)
     registry = MetricsRegistry()
-    run_rate_experiment(config, duration=0.25, workload=spec,
-                        metrics=registry)
+    run_rate_experiment(config, duration=0.25,
+                        options=RunOptions(workload=spec,
+                                           metrics=registry))
     prom = registry.to_prometheus()
     # The wl-{model} queues are created *after* the sampler starts; the
     # live queue view + lazy gauge registration still samples them.

@@ -16,6 +16,7 @@ from repro.server.experiment import (
     run_experiment,
 )
 from repro.server.rate_experiment import run_rate_experiment
+from repro.server.options import RunOptions
 from repro.server.setup import ServingSetup
 
 FAST = ExperimentConfig(("squeezenet",) * 2, policy="krisp-i",
@@ -92,16 +93,18 @@ def test_rate_experiment_accepts_observability_kwargs(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     tracer = Tracer()
     metrics = MetricsRegistry()
-    result = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5,
-                                 tracer=tracer, metrics=metrics,
-                                 sample_interval=1e-3)
+    result = run_rate_experiment(
+        FAST, offered_rps=100.0, duration=0.5,
+        options=RunOptions(tracer=tracer, metrics=metrics,
+                           sample_interval=1e-3))
     assert result.achieved_rps > 0
     assert tracer.requests_traced > 0
     assert len(metrics) > 0
 
     plain = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5)
-    traced = run_rate_experiment(FAST, offered_rps=100.0, duration=0.5,
-                                 tracer=Tracer(), metrics=MetricsRegistry())
+    traced = run_rate_experiment(
+        FAST, offered_rps=100.0, duration=0.5,
+        options=RunOptions(tracer=Tracer(), metrics=MetricsRegistry()))
     # Observability is pure observation: results are unchanged by it.
     assert traced.achieved_rps == plain.achieved_rps
     assert traced.latency == plain.latency

@@ -23,6 +23,7 @@ from repro.exp.cache import (
 )
 from repro.exp.load import run_load_curve
 from repro.server.experiment import ExperimentConfig, run_experiment
+from repro.server.options import RunOptions
 from repro.server.rate_experiment import run_rate_experiment
 from repro.server.setup import ServingSetup
 from repro.server.slo import SloGuard
@@ -58,7 +59,8 @@ def test_poisson_spec_is_bit_identical_to_legacy_open_loop():
     legacy = run_rate_experiment(CONFIG, offered_rps=100.0, duration=0.5)
     spec = poisson_spec(100.0)
     via_spec = run_rate_experiment(CONFIG, offered_rps=100.0,
-                                   duration=0.5, workload=spec)
+                                   duration=0.5,
+                                   options=RunOptions(workload=spec))
     assert via_spec == legacy  # full float-for-float equality
     assert rate_result_to_dict(via_spec) == rate_result_to_dict(legacy)
 
@@ -66,27 +68,31 @@ def test_poisson_spec_is_bit_identical_to_legacy_open_loop():
 def test_fig13a_pin_survives_workload_runs():
     """Running the workload engine perturbs nothing: the legacy
     closed-loop cell still reproduces its pinned result sha."""
-    run_rate_experiment(CONFIG, duration=0.3, workload=poisson_spec(80.0))
+    run_rate_experiment(CONFIG, duration=0.3,
+                        options=RunOptions(workload=poisson_spec(80.0)))
     assert result_hash(run_experiment(FIG13A)) == FIG13A_RESULT_SHA
 
 
 def test_workload_runs_are_repeatable():
     spec = poisson_spec(120.0)
-    a = run_rate_experiment(CONFIG, duration=0.4, workload=spec)
-    b = run_rate_experiment(CONFIG, duration=0.4, workload=spec)
+    a = run_rate_experiment(CONFIG, duration=0.4,
+                            options=RunOptions(workload=spec))
+    b = run_rate_experiment(CONFIG, duration=0.4,
+                            options=RunOptions(workload=spec))
     assert a == b
 
 
 def test_workload_offered_rps_defaults_to_spec_rate():
-    result = run_rate_experiment(CONFIG, duration=0.3,
-                                 workload=poisson_spec(80.0))
+    result = run_rate_experiment(
+        CONFIG, duration=0.3, options=RunOptions(workload=poisson_spec(80.0)))
     assert result.offered_rps == pytest.approx(80.0)
 
 
 def test_workload_batch_size_must_match_config():
     with pytest.raises(ValueError, match="batch size"):
-        run_rate_experiment(CONFIG, duration=0.3,
-                            workload=poisson_spec(80.0, batch=8))
+        run_rate_experiment(
+            CONFIG, duration=0.3,
+            options=RunOptions(workload=poisson_spec(80.0, batch=8)))
 
 
 def test_workload_models_must_be_configured():
@@ -166,8 +172,10 @@ def test_llm_workload_is_repeatable():
     spec = HomogeneousWorkloadSpec(
         "llm-tiny", PoissonArrivals(rate=40.0), batch_size=8,
         output_tokens=(1, 6))
-    a = run_rate_experiment(config, duration=0.4, workload=spec)
-    b = run_rate_experiment(config, duration=0.4, workload=spec)
+    a = run_rate_experiment(config, duration=0.4,
+                            options=RunOptions(workload=spec))
+    b = run_rate_experiment(config, duration=0.4,
+                            options=RunOptions(workload=spec))
     assert a == b
 
 
@@ -176,7 +184,8 @@ def test_llm_workload_is_repeatable():
 def test_guard_sheds_under_workload_overload():
     guard = SloGuard(admission_depth=4, deadline=0.05)
     result = run_rate_experiment(
-        CONFIG, duration=0.5, workload=poisson_spec(5000.0), guard=guard)
+        CONFIG, duration=0.5,
+        options=RunOptions(workload=poisson_spec(5000.0), guard=guard))
     assert result.resilience is not None
     assert result.resilience.shed > 0
     assert result.resilience.goodput_rps <= result.achieved_rps + 1e-9
