@@ -28,10 +28,16 @@ def test_colo4_compare_and_regression_gate():
         assert row["wall_s"] > 0
         assert row["events"] > 0
         assert row["events_per_s"] > 0
+        # Schema 2: equal-timestamp batching honesty — instants visited
+        # alongside events executed, never more of the former.
+        assert 0 < row["batches"] <= row["events"]
+        assert row["batches_per_s"] > 0
+        assert row["queue"] == "auto"
         assert len(row["result_hash"]) == 64
     # Bit-identity across recompute modes (run_bench also enforces this).
     assert rows["incremental"]["result_hash"] == rows["full"]["result_hash"]
     assert "colo4" in report["speedups"]
+    assert report["recommended_modes"]["colo4"] in ("incremental", "full")
 
     baseline = json.loads(BASELINE.read_text())
     failures = check_report(report, baseline, max_regression=0.30)
@@ -45,3 +51,35 @@ def test_maskgen_is_deterministic():
     second = run_scenario("maskgen")
     assert first.result_hash == second.result_hash
     assert first.events == second.events == 60_000
+
+
+def test_default_baseline_discovery_and_deltas(tmp_path):
+    import os
+
+    from repro.bench import baseline_deltas, default_baseline_path
+
+    # Discovery: newest-mtime BENCH_*.json wins; empty dir -> None.
+    assert default_baseline_path(tmp_path) is None
+    old = tmp_path / "BENCH_aaaaaaa.json"
+    new = tmp_path / "BENCH_bbbbbbb.json"
+    old.write_text("{}")
+    new.write_text("{}")
+    os.utime(old, (1, 1))
+    os.utime(new, (2, 2))
+    assert default_baseline_path(tmp_path) == new
+
+    # The repo root carries at least one committed baseline.
+    committed = default_baseline_path()
+    assert committed is not None and committed.name.startswith("BENCH_")
+
+    # Deltas are per-(scenario, mode) events/s ratios; one-sided rows
+    # are skipped (works across schema versions).
+    report = {"rows": [
+        {"scenario": "dense", "mode": "incremental", "events_per_s": 150.0},
+        {"scenario": "chaos", "mode": "full", "events_per_s": 80.0},
+    ]}
+    baseline = {"rows": [
+        {"scenario": "dense", "mode": "incremental", "events_per_s": 100.0},
+        {"scenario": "colo4", "mode": "full", "events_per_s": 5.0},
+    ]}
+    assert baseline_deltas(report, baseline) == {"dense/incremental": 1.5}

@@ -10,7 +10,10 @@ from repro.bench.runner import (
     BENCH_SCHEMA,
     BenchError,
     BenchRow,
+    baseline_deltas,
     check_report,
+    default_baseline_path,
+    profile_scenario,
     run_bench,
     run_scenario,
     write_report,
@@ -24,7 +27,10 @@ __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioRun",
+    "baseline_deltas",
     "check_report",
+    "default_baseline_path",
+    "profile_scenario",
     "run_bench",
     "run_scenario",
     "write_report",

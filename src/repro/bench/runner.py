@@ -1,14 +1,23 @@
 """Benchmark runner: times pinned scenarios, emits ``BENCH_<rev>.json``.
 
-A *row* is one (scenario, recompute-mode) measurement: best-of-N wall
-time, engine events/second, and the run's result hash.  Because every
-scenario is deterministic, the hash doubles as a correctness check — in
-``compare`` mode the runner asserts the incremental and full-recompute
-paths hashed identically before reporting a speedup.
+A *row* is one (scenario, recompute-mode, queue) measurement: best-of-N
+wall time, engine events/second, batches (distinct instants)/second, and
+the run's result hash.  Because every scenario is deterministic, the
+hash doubles as a correctness check — in ``compare`` mode the runner
+asserts the incremental and full-recompute paths hashed identically
+before reporting a speedup.
+
+Throughput honesty: under equal-timestamp batching many events share one
+instant, so ``events_per_s`` alone could silently flatter a change that
+merely merges instants.  Every row therefore reports both ``events``
+(callbacks executed) and ``batches`` (instants visited), with their
+respective rates.
 
 Reports are plain JSON (:data:`BENCH_SCHEMA`) so future PRs can diff
 them; :func:`check_report` implements the CI regression gate against a
-committed baseline.
+committed baseline, and :func:`default_baseline_path` locates the newest
+committed ``BENCH_*.json`` at the repo root so ``bench --compare`` can
+print deltas without an explicit path.
 """
 
 from __future__ import annotations
@@ -29,16 +38,27 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchError",
     "BenchRow",
+    "baseline_deltas",
     "check_report",
+    "default_baseline_path",
+    "profile_scenario",
     "run_bench",
     "run_scenario",
     "write_report",
 ]
 
-BENCH_SCHEMA = 1
+#: Schema 2 adds ``batches`` / ``batches_per_s`` / ``queue`` to every row
+#: (equal-timestamp batching honesty) and the ``recommended_modes``
+#: per-scenario crossover verdict to compare reports.
+BENCH_SCHEMA = 2
 
-#: Modes map to the REPRO_FULL_RECOMPUTE device flag.
-_MODES = {"incremental": "0", "full": "1"}
+#: Recompute modes map to the device's ``REPRO_RECOMPUTE`` knob:
+#: ``auto`` (incremental with the measured dirty-fraction crossover to
+#: the full sweep), ``incremental`` (forced), ``full`` (forced sweep,
+#: the bit-identity oracle).
+_MODES = ("auto", "incremental", "full")
+
+_QUEUES = ("auto", "heap", "calendar")
 
 
 class BenchError(RuntimeError):
@@ -47,13 +67,16 @@ class BenchError(RuntimeError):
 
 @dataclass(frozen=True)
 class BenchRow:
-    """One timed (scenario, mode) measurement."""
+    """One timed (scenario, mode, queue) measurement."""
 
     scenario: str
     mode: str
+    queue: str
     wall_s: float
     events: int
+    batches: int
     events_per_s: float
+    batches_per_s: float
     result_hash: str
     repeats: int
 
@@ -72,8 +95,29 @@ def _git_rev() -> str:
     return "unknown"
 
 
-def run_scenario(name: str, mode: str = "incremental",
-                 repeats: int = 1) -> BenchRow:
+class _env:
+    """Temporarily set environment variables (None = leave unset)."""
+
+    def __init__(self, **values: Optional[str]) -> None:
+        self._values = {k: v for k, v in values.items() if v is not None}
+        self._saved: dict[str, Optional[str]] = {}
+
+    def __enter__(self) -> "_env":
+        for key, value in self._values.items():
+            self._saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for key, saved in self._saved.items():
+            if saved is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = saved
+
+
+def run_scenario(name: str, mode: str = "auto",
+                 repeats: int = 1, queue: str = "auto") -> BenchRow:
     """Time one scenario ``repeats`` times and keep the best wall time.
 
     All repeats must produce the same result hash (the scenarios are
@@ -84,15 +128,16 @@ def run_scenario(name: str, mode: str = "incremental",
         raise BenchError(
             f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
     if mode not in _MODES:
-        raise BenchError(f"unknown mode {mode!r}; available: {sorted(_MODES)}")
+        raise BenchError(f"unknown mode {mode!r}; available: {list(_MODES)}")
+    if queue not in _QUEUES:
+        raise BenchError(
+            f"unknown queue {queue!r}; available: {list(_QUEUES)}")
     if repeats < 1:
         raise BenchError("repeats must be >= 1")
 
-    saved = os.environ.get("REPRO_FULL_RECOMPUTE")
-    os.environ["REPRO_FULL_RECOMPUTE"] = _MODES[mode]
-    try:
-        best: Optional[float] = None
-        run: Optional[ScenarioRun] = None
+    best: Optional[float] = None
+    run: Optional[ScenarioRun] = None
+    with _env(REPRO_RECOMPUTE=mode, REPRO_SIM_QUEUE=queue):
         for _ in range(repeats):
             start = time.perf_counter()
             this_run = scenario.execute()
@@ -104,42 +149,73 @@ def run_scenario(name: str, mode: str = "incremental",
             run = this_run
             if best is None or wall < best:
                 best = wall
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_FULL_RECOMPUTE", None)
-        else:
-            os.environ["REPRO_FULL_RECOMPUTE"] = saved
 
     assert run is not None and best is not None
     return BenchRow(
         scenario=name,
         mode=mode,
+        queue=queue,
         wall_s=round(best, 4),
         events=run.events,
+        batches=run.batches,
         events_per_s=round(run.events / best, 1) if best > 0 else 0.0,
+        batches_per_s=round(run.batches / best, 1) if best > 0 else 0.0,
         result_hash=run.result_hash,
         repeats=repeats,
     )
 
 
+def profile_scenario(name: str, mode: str = "auto",
+                     queue: str = "auto") -> dict:
+    """Run ``name`` once under the per-phase profiler; return the breakdown.
+
+    Profiled runs pay ~2 clock reads per event plus 2 per instrumented
+    sub-phase, so the timings here show the *shape* of a run, not
+    comparable absolute throughput — the plain rows stay unprofiled.
+    """
+    from repro.profiling import simprofile
+
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise BenchError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    simprofile.activate()
+    try:
+        with _env(REPRO_RECOMPUTE=mode, REPRO_SIM_QUEUE=queue):
+            scenario.execute()
+    finally:
+        profiler = simprofile.deactivate()
+    assert profiler is not None
+    breakdown = profiler.breakdown()
+    breakdown["scenario"] = name
+    breakdown["mode"] = mode
+    breakdown["queue"] = queue
+    breakdown["formatted"] = profiler.format()
+    return breakdown
+
+
 def run_bench(names: Optional[Sequence[str]] = None, *,
-              compare: bool = False, repeats: int = 1) -> dict:
+              compare: bool = False, repeats: int = 1,
+              queue: str = "auto") -> dict:
     """Run scenarios and return a schema-:data:`BENCH_SCHEMA` report.
 
-    With ``compare=True`` each scenario is run in both recompute modes
-    (incremental first, so the full mode inherits any warm in-process
-    caches — biasing *against* the incremental path's speedup), the
-    result hashes are asserted identical, and per-scenario speedups are
-    reported.
+    With ``compare=True`` each scenario is run in both forced recompute
+    modes (incremental first, so the full mode inherits any warm
+    in-process caches — biasing *against* the incremental path's
+    speedup), the result hashes are asserted identical, per-scenario
+    speedups are reported, and ``recommended_modes`` records which mode
+    the measurement favours (the measured crossover behind the device's
+    ``auto`` default).
     """
     names = list(names) if names else sorted(SCENARIOS)
     rows: list[BenchRow] = []
     speedups: dict[str, float] = {}
+    recommended: dict[str, str] = {}
     for name in names:
-        incremental = run_scenario(name, "incremental", repeats)
+        incremental = run_scenario(name, "incremental", repeats, queue)
         rows.append(incremental)
         if compare:
-            full = run_scenario(name, "full", repeats)
+            full = run_scenario(name, "full", repeats, queue)
             rows.append(full)
             if full.result_hash != incremental.result_hash:
                 raise BenchError(
@@ -148,16 +224,21 @@ def run_bench(names: Optional[Sequence[str]] = None, *,
                     f"{full.result_hash[:16]}) — the incremental "
                     "recompute path broke bit-identity")
             if incremental.wall_s > 0:
-                speedups[name] = round(full.wall_s / incremental.wall_s, 2)
+                speedup = round(full.wall_s / incremental.wall_s, 2)
+                speedups[name] = speedup
+                recommended[name] = (
+                    "incremental" if speedup >= 1.0 else "full")
     report = {
         "schema": BENCH_SCHEMA,
         "rev": _git_rev(),
         "version": repro.__version__,
         "python": sys.version.split()[0],
+        "queue": queue,
         "rows": [asdict(row) for row in rows],
     }
     if compare:
         report["speedups"] = speedups
+        report["recommended_modes"] = recommended
     return report
 
 
@@ -166,6 +247,41 @@ def write_report(report: dict, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def default_baseline_path(root: Optional[Path] = None) -> Optional[Path]:
+    """Newest committed ``BENCH_*.json`` at the repo root, or ``None``.
+
+    "Newest" is by modification time (checkouts materialise commit order
+    as mtime order for files committed in sequence); an explicit
+    ``--check`` path always overrides this discovery.
+    """
+    if root is None:
+        candidate = Path(__file__).resolve().parents[3]
+        if not (candidate / "pyproject.toml").exists():
+            return None
+        root = candidate
+    benches = sorted(root.glob("BENCH_*.json"),
+                     key=lambda p: p.stat().st_mtime)
+    return benches[-1] if benches else None
+
+
+def baseline_deltas(report: dict, baseline: dict) -> dict[str, float]:
+    """Per-(scenario, mode) events/s ratio of ``report`` over ``baseline``.
+
+    Keys are ``"scenario/mode"``; values > 1.0 mean the report is
+    faster.  Works across schema versions (every schema's rows carry
+    ``events_per_s``); rows present on only one side are skipped.
+    """
+    base_rows = {(r["scenario"], r["mode"]): r
+                 for r in baseline.get("rows", [])}
+    deltas: dict[str, float] = {}
+    for row in report.get("rows", []):
+        base = base_rows.get((row["scenario"], row["mode"]))
+        if base and base.get("events_per_s"):
+            deltas[f"{row['scenario']}/{row['mode']}"] = round(
+                row["events_per_s"] / base["events_per_s"], 2)
+    return deltas
 
 
 def check_report(report: dict, baseline: dict, *,

@@ -69,11 +69,19 @@ def chaos_faults(config: ExperimentConfig = CHAOS_CONFIG):
 
 @dataclass(frozen=True)
 class ScenarioRun:
-    """Outcome of one scenario execution (timing is the runner's job)."""
+    """Outcome of one scenario execution (timing is the runner's job).
+
+    ``batches`` is the number of distinct timestamps the engine visited
+    (``Simulator.batches_drained``) — under equal-timestamp batching many
+    events can share one instant, so honest throughput reporting needs
+    both counts.  Non-DES scenarios (maskgen) report ``batches ==
+    events``: every iteration is its own "instant".
+    """
 
     result_hash: str
     events: int
     sim_time: float = 0.0
+    batches: int = 0
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,7 @@ def _cell(config: ExperimentConfig, faults=None, guard=None) -> ScenarioRun:
         result_hash=result_hash(result),
         events=stats["events_executed"],
         sim_time=stats["sim_time"],
+        batches=stats.get("batches_drained", 0),
     )
 
 
@@ -138,7 +147,8 @@ def _run_maskgen() -> ScenarioRun:
             counters.release(live.popleft())
     while live:
         counters.release(live.popleft())
-    return ScenarioRun(result_hash=digest.hexdigest(), events=iterations)
+    return ScenarioRun(result_hash=digest.hexdigest(), events=iterations,
+                       batches=iterations)
 
 
 SCENARIOS: dict[str, Scenario] = {

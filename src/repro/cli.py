@@ -532,7 +532,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.bench import (
-        SCENARIOS, BenchError, check_report, run_bench, write_report)
+        SCENARIOS, BenchError, baseline_deltas, check_report,
+        default_baseline_path, profile_scenario, run_bench, write_report)
 
     if args.list:
         for name in sorted(SCENARIOS):
@@ -540,8 +541,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     names = args.scenarios or sorted(SCENARIOS)
+
+    if args.profile:
+        # Profiled throughput is not comparable with plain rows (clock
+        # reads per event), so --profile prints the per-phase shape
+        # instead of timing rows.
+        try:
+            for name in names:
+                breakdown = profile_scenario(name, queue=args.queue)
+                print(f"-- {name} --")
+                print(breakdown["formatted"])
+        except BenchError as exc:
+            print(f"bench failed: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
     try:
-        report = run_bench(names, compare=args.compare, repeats=args.repeat)
+        report = run_bench(names, compare=args.compare, repeats=args.repeat,
+                           queue=args.queue)
     except BenchError as exc:
         print(f"bench failed: {exc}", file=sys.stderr)
         return 1
@@ -550,10 +567,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"{row['scenario']:<10} {row['mode']:<12} "
               f"wall {row['wall_s']:>8.3f}s  "
               f"{row['events_per_s']:>12,.0f} events/s  "
+              f"{row['batches_per_s']:>12,.0f} batches/s  "
               f"hash {row['result_hash'][:16]}")
     for name, speedup in report.get("speedups", {}).items():
+        recommended = report.get("recommended_modes", {}).get(name, "")
         print(f"{name:<10} incremental speedup {speedup:.2f}x "
-              "(hashes identical)")
+              f"(hashes identical; recommended: {recommended})")
+
+    if args.compare:
+        baseline_path = default_baseline_path()
+        if baseline_path is not None:
+            baseline = json.loads(baseline_path.read_text())
+            deltas = baseline_deltas(report, baseline)
+            for key, ratio in deltas.items():
+                print(f"{key:<24} {ratio:>6.2f}x events/s "
+                      f"vs {baseline_path.name}")
+            if not deltas:
+                print(f"no comparable rows in {baseline_path.name}")
+        else:
+            print("no committed BENCH_*.json baseline found for deltas")
 
     if args.json_out:
         path = write_report(report, args.json_out)
@@ -865,8 +897,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeat", "-r", type=int, default=1,
                        help="repeats per row (best wall time wins)")
     bench.add_argument("--compare", action="store_true",
-                       help="also run REPRO_FULL_RECOMPUTE=1, assert "
-                            "bit-identical hashes, report speedups")
+                       help="also run the forced full-recompute oracle, "
+                            "assert bit-identical hashes, report speedups "
+                            "and deltas vs the newest committed "
+                            "BENCH_*.json")
+    bench.add_argument("--queue", choices=("auto", "heap", "calendar"),
+                       default="auto",
+                       help="event queue implementation (default auto)")
+    bench.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-time breakdown per "
+                            "scenario instead of timing rows")
     bench.add_argument("--check", default=None,
                        help="baseline report JSON to gate wall-time "
                             "regressions against")

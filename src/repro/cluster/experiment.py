@@ -41,7 +41,9 @@ from repro.exp.cache import (
     _atomic_write_text,
     cache_root,
     fingerprint,
+    locate_entry,
     rate_cache_key,
+    sharded_entry_path,
 )
 from repro.server.metrics import LatencyStats
 from repro.server.options import RunOptions, reject_unsupported
@@ -319,10 +321,10 @@ class ClusterResultCache:
         return self._root if self._root is not None else cache_root()
 
     def path_for(self, key: str) -> Path:
-        return self.root() / "cluster" / f"{key}.json"
+        return sharded_entry_path(self.root() / "cluster", key)
 
     def get(self, key: str) -> Optional[ClusterResult]:
-        path = self.path_for(key)
+        path = locate_entry(self.root() / "cluster", key)
         try:
             raw = path.read_text()
         except FileNotFoundError:

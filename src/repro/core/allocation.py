@@ -138,6 +138,15 @@ class ResourceMaskGenerator:
         # cached decode (cu_tuple, per-SE counts) be computed once
         # instead of per launch.
         self._mask_cache: dict[int, CUMask] = {}
+        # Full-result memo: the mask is a pure function of the request
+        # size and the per-CU counter vector (SE loads, busy count, and
+        # total assignments all derive from it).  Serving loops revisit
+        # the same counter states constantly, so cache the whole
+        # Algorithm-1 run keyed on (num_cus, counts-bytes).  Capped to
+        # bound memory on adversarial churn (maskgen-style sweeps).
+        self._generate_cache: dict[tuple[int, bytes], CUMask] = {}
+
+    _GENERATE_CACHE_MAX = 1 << 17
 
     def _distribution(self, num_cus: int) -> list[int]:
         targets = self._distribution_cache.get(num_cus)
@@ -169,7 +178,17 @@ class ResourceMaskGenerator:
         KRISP-I's Fig. 13 results rely on).
         """
         topo = self.topology
-        num_cus = max(1, min(num_cus, topo.total_cus))
+        if num_cus < 1:
+            num_cus = 1
+        elif num_cus > topo.total_cus:
+            num_cus = topo.total_cus
+        # Per-CU counts are small ints (bounded by max_kernels_per_cu),
+        # so bytes() is a compact, hashable snapshot of the full state.
+        memo_key = (num_cus, bytes(counters.counts_view()))
+        cached = self._generate_cache.get(memo_key)
+        if cached is not None:
+            self.masks_generated += 1
+            return cached
         floor = fair_share_floor(topo.total_cus, counters.total_assigned())
         if self.overlap_limit == 0:
             free = topo.total_cus - counters.busy_cus()
@@ -205,6 +224,8 @@ class ResourceMaskGenerator:
         if mask is None:
             mask = CUMask(topo, bits)
             self._mask_cache[bits] = mask
+        if len(self._generate_cache) < self._GENERATE_CACHE_MAX:
+            self._generate_cache[memo_key] = mask
         return mask
 
     def _select(self, num_cus: int, counters: CUKernelCounters,

@@ -51,12 +51,17 @@ class PerfDatabase:
         self._min_cus: dict[KernelKey, int] = {}
         self.lookups = 0
         self.misses = 0
+        #: Bumped by every content mutation; memo layers (the right-sizer
+        #: hit cache) compare it to detect mid-run changes such as the
+        #: fault injector's perf-DB dropout.
+        self.generation = 0
 
     def record(self, desc: KernelDescriptor, min_cus: int) -> None:
         """Store the profiled minimum CU count for a kernel."""
         if min_cus < 1:
             raise ValueError("min_cus must be >= 1")
         self._min_cus[KernelKey.of(desc)] = min_cus
+        self.generation += 1
 
     def lookup(self, desc: KernelDescriptor) -> Optional[int]:
         """Profiled minimum CUs, or ``None`` for an unprofiled kernel."""
@@ -102,6 +107,7 @@ class PerfDatabase:
     def merge(self, other: "PerfDatabase") -> None:
         """Adopt every entry of ``other`` (other wins on conflicts)."""
         self._min_cus.update(other._min_cus)
+        self.generation += 1
 
     def drop_fraction(self, fraction: float, seed: int = 0) -> int:
         """Remove a deterministic ``fraction`` of entries; returns how many.
@@ -125,4 +131,5 @@ class PerfDatabase:
         count = max(1, int(round(fraction * len(ranked))))
         for key in ranked[:count]:
             del self._min_cus[key]
+        self.generation += 1
         return count

@@ -48,9 +48,28 @@ class KernelRightSizer:
         self.unprofiled: set[str] = set()
         #: Launches answered through the fallback path (missing DB entry).
         self.degraded = 0
+        # Memo of *hits* only, keyed by descriptor.  The serving loop
+        # re-resolves the same few descriptors millions of times, so
+        # replay the answer while keeping the database's lookup count
+        # honest.  The cache is tied to the database's mutation
+        # generation: a mid-run change (fault-injected perf-DB dropout,
+        # an offline profiling merge) drops every memoised answer.
+        # Misses are never memoised — they mutate
+        # ``unprofiled``/``degraded`` and should start hitting once the
+        # gap is filled.
+        self._hit_cache: dict[KernelDescriptor, int] = {}
+        self._hit_cache_gen = database.generation
 
     def __call__(self, desc: KernelDescriptor) -> Optional[int]:
         """Requested CU count for ``desc`` (the Stream right-sizer hook)."""
+        database = self.database
+        if database.generation != self._hit_cache_gen:
+            self._hit_cache.clear()
+            self._hit_cache_gen = database.generation
+        cached = self._hit_cache.get(desc)
+        if cached is not None:
+            database.lookups += 1
+            return cached
         min_cus = self.database.lookup(desc)
         if min_cus is None:
             self.unprofiled.add(desc.name)
@@ -58,4 +77,6 @@ class KernelRightSizer:
             if self.fallback_cus is not None:
                 return min(self.topology.total_cus, self.fallback_cus)
             return self.topology.total_cus
-        return min(self.topology.total_cus, min_cus + self.margin_cus)
+        result = min(self.topology.total_cus, min_cus + self.margin_cus)
+        self._hit_cache[desc] = result
+        return result

@@ -16,6 +16,12 @@ and *atomic* — published via a same-directory temp file and
 ``os.replace`` — so concurrent sweep workers racing on one key can
 never leave an interleaved or half-written file behind.
 
+Entries live in 256 two-hex-prefix shard subdirectories (keys are
+uniform SHA-256 hex) so big sweeps never degrade into one flat directory
+of tens of thousands of files; flat entries written by pre-sharding
+versions are found and migrated into their shard on first read, keys
+unchanged (see :func:`locate_entry`).
+
 Set ``REPRO_CACHE_DIR`` to relocate the store (shared with the profiling
 cache in :mod:`repro.server.profiles`); delete the directory to clear it.
 """
@@ -57,11 +63,13 @@ __all__ = [
     "default_cache",
     "default_rate_cache",
     "fingerprint",
+    "locate_entry",
     "rate_cache_key",
     "rate_result_from_dict",
     "rate_result_hash",
     "rate_result_to_dict",
     "result_hash",
+    "sharded_entry_path",
 ]
 
 logger = logging.getLogger(__name__)
@@ -101,6 +109,41 @@ def cache_root() -> Path:
     """Root of the on-disk cache (``REPRO_CACHE_DIR`` or the default)."""
     root = os.environ.get("REPRO_CACHE_DIR")
     return Path(root) if root else Path.home() / ".cache" / "repro-krisp"
+
+
+def sharded_entry_path(directory: Path, key: str) -> Path:
+    """Canonical location of ``key``'s entry: a two-hex-prefix shard.
+
+    Large sweeps accumulate tens of thousands of entries; a flat
+    directory makes every miss (and every ``ls``) scan all of them.
+    Keys are uniform SHA-256 hex, so the first two characters split the
+    store into 256 evenly loaded subdirectories.
+    """
+    return directory / key[:2] / f"{key}.json"
+
+
+def locate_entry(directory: Path, key: str) -> Path:
+    """Where to *read* ``key``'s entry, migrating flat legacy files.
+
+    Pre-sharding stores kept every entry directly in ``directory``.
+    Reads prefer the sharded location; a flat legacy file is moved into
+    its shard on first touch (best-effort, atomic ``os.replace`` — on
+    failure the flat path is returned and the entry still hits).  A key
+    present in neither place resolves to the sharded path, so miss
+    handling targets the canonical location.
+    """
+    sharded = sharded_entry_path(directory, key)
+    if sharded.exists():
+        return sharded
+    legacy = directory / f"{key}.json"
+    if legacy.exists():
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, sharded)
+            return sharded
+        except OSError:
+            return legacy
+    return sharded
 
 
 def fingerprint() -> dict[str, Any]:
@@ -318,14 +361,15 @@ class ResultCache:
 
     def path_for(self, config: ExperimentConfig, faults=None,
                  guard: Optional[SloGuard] = None) -> Path:
-        """On-disk location of one cell's cached result."""
+        """Canonical (sharded) location of one cell's cached result."""
         key = cache_key(config, faults=faults, guard=guard)
-        return self.root() / "results" / f"{key}.json"
+        return sharded_entry_path(self.root() / "results", key)
 
     def get(self, config: ExperimentConfig, faults=None,
             guard: Optional[SloGuard] = None) -> Optional[ExperimentResult]:
         """Cached result for ``config``, or ``None`` on any kind of miss."""
-        path = self.path_for(config, faults=faults, guard=guard)
+        key = cache_key(config, faults=faults, guard=guard)
+        path = locate_entry(self.root() / "results", key)
         try:
             raw = path.read_text()
         except FileNotFoundError:
@@ -459,11 +503,11 @@ class RateResultCache:
         return self._root if self._root is not None else cache_root()
 
     def path_for(self, key: str) -> Path:
-        return self.root() / "rate" / f"{key}.json"
+        return sharded_entry_path(self.root() / "rate", key)
 
     def get(self, key: str):
         """Cached result under ``key``, or ``None`` on any miss."""
-        path = self.path_for(key)
+        path = locate_entry(self.root() / "rate", key)
         try:
             raw = path.read_text()
         except FileNotFoundError:

@@ -52,6 +52,7 @@ from repro.gpu.exec_model import (
 )
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.power import EnergyMeter, PowerModel
+from repro.gpu.ratevec import VECTOR_MIN as _VECTOR_MIN
 from repro.gpu.topology import GpuTopology
 from repro.sim.engine import Event, Simulator
 from repro.sim.process import Signal
@@ -99,6 +100,10 @@ class KernelRecord:
     seq_no: int = field(default=0, repr=False)
     complete_cb: Optional[Callable[[], None]] = field(
         default=None, repr=False)
+    # Row in the device's vectorised rate arrays (numpy mode only; the
+    # arrays are then authoritative for progress — ``sync_progress``
+    # scatters back into the field).
+    slot: int = field(default=-1, repr=False)
 
 
 class GpuDevice:
@@ -112,6 +117,7 @@ class GpuDevice:
         power_model: Optional[PowerModel] = None,
         record_trace: bool = False,
         full_recompute: Optional[bool] = None,
+        recompute: Optional[str] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology or GpuTopology.mi50()
@@ -137,7 +143,55 @@ class GpuDevice:
         if full_recompute is None:
             flag = os.environ.get("REPRO_FULL_RECOMPUTE", "")
             full_recompute = flag.lower() not in ("", "0", "false")
+        # Recompute-mode selection (all three compute byte-identical
+        # floats; they differ only in which records they *visit*):
+        #   auto        — dirty-set recompute below the measured crossover,
+        #                 full sweep above it (the default);
+        #   incremental — always the dirty-set path;
+        #   full        — always the full sweep (equals full_recompute,
+        #                 which additionally rescans the meter aggregates
+        #                 as the validation oracle).
+        if recompute is None:
+            recompute = os.environ.get("REPRO_RECOMPUTE", "") or "auto"
+        if recompute not in ("auto", "incremental", "full"):
+            raise ValueError(
+                f"unknown recompute mode {recompute!r}; expected "
+                "'auto', 'incremental', or 'full'")
+        if recompute == "full":
+            full_recompute = True
+        self.recompute_mode = recompute
         self.full_recompute = full_recompute
+        self._force_incremental = recompute == "incremental"
+        # Equal-timestamp batching: while the engine is inside run(),
+        # commits are deferred — dirty sets accumulate and one recompute
+        # runs at the instant boundary (the engine's flush hook), so N
+        # same-instant state changes cost one sweep instead of N.
+        # REPRO_NO_DEFER=1 restores the eager per-change commit (the
+        # validation oracle for the batched path); outside run() commits
+        # are always eager, so single-stepped harnesses see consistent
+        # state after every call.
+        self._defer = os.environ.get(
+            "REPRO_NO_DEFER", "").lower() in ("", "0", "false")
+        self._pending = False
+        self._pending_full = False
+        self._pending_dirty: set[int] = set()
+        sim.add_flush_hook(self._flush_commit)
+        # The profiler module is imported lazily (the profiling package's
+        # init pulls in modules that import this one).
+        from repro.profiling import simprofile
+        self._simprofile = simprofile
+        # Numpy-vectorised rate state (repro.gpu.ratevec): the progress
+        # and effective-latency sweeps run over slot-indexed arrays, with
+        # the scalar formulas below as the bit-identical source of truth.
+        # REPRO_SCALAR_RATES=1 (or numpy being absent) keeps the
+        # pure-python path.
+        self._vec = None
+        if os.environ.get("REPRO_SCALAR_RATES", "").lower() in (
+                "", "0", "false"):
+            from repro.gpu import ratevec
+            if ratevec.HAVE_NUMPY:
+                self._vec = ratevec.RateArrays(
+                    self.topology, self.exec_config)
         # Incremental-recompute state, keyed by per-device launch seq
         # numbers: CU → resident seq numbers, the seq numbers with
         # positive bandwidth demand (the reach of the over-budget
@@ -193,7 +247,10 @@ class GpuDevice:
         record = KernelRecord(
             launch=launch,
             mask=mask,
-            done=Signal(self.sim, name=f"kernel-{launch.launch_id}.done"),
+            # Unnamed: per-launch f-string names showed up in profiles
+            # and nothing reads them (debuggers can reconstruct the id
+            # from the record).
+            done=Signal(self.sim),
             start_time=self.sim.now,
             last_update=self.sim.now,
             on_complete=on_complete,
@@ -201,6 +258,8 @@ class GpuDevice:
             complete_cb=partial(self._complete, seq_no),
         )
         self._cache_invariants(record)
+        if self._vec is not None:
+            record.slot = self._vec.alloc(record)
         old_total = self._total_demand
         self._total_demand += record.demand
         self._running[seq_no] = record
@@ -371,10 +430,14 @@ class GpuDevice:
         already equals ``now`` (the invariant this method maintains), and
         skipping it changes no floats.
         """
-        now = self.sim.now
+        now = self.sim._now
         last = self._last_advance
         if now == last:
             return
+        profiler = self._simprofile._ACTIVE
+        if profiler is not None:
+            from time import perf_counter
+            t0 = perf_counter()
         self._last_advance = now
         # Invariant: every resident was last credited at ``last`` (launch
         # and retire both advance first), so the elapsed term is shared
@@ -382,11 +445,17 @@ class GpuDevice:
         # per-record ``last_update`` field while a kernel is resident
         # (the field is refreshed at retirement).
         elapsed = now - last
-        for record in self._running.values():
-            lat = record.eff_latency
-            if lat > 0:
-                progress = record.progress + elapsed / lat
-                record.progress = 1.0 if progress > 1.0 else progress
+        vec = self._vec
+        if vec is not None:
+            vec.advance(elapsed)
+        else:
+            for record in self._running.values():
+                lat = record.eff_latency
+                if lat > 0:
+                    progress = record.progress + elapsed / lat
+                    record.progress = 1.0 if progress > 1.0 else progress
+        if profiler is not None:
+            profiler.add("progress_advance", perf_counter() - t0)
 
     def _regime_crossed(self, old_total: float, new_total: float) -> bool:
         """Whether a total-demand change can reach any resident's latency.
@@ -418,11 +487,53 @@ class GpuDevice:
         """Recompute affected rates and reschedule completions.
 
         ``dirty=None`` (and ``full_recompute`` mode) sweeps every
+        resident.  While the engine is inside ``run()`` the commit is
+        deferred: dirty sets union up and :meth:`_flush_commit` runs one
+        recompute at the instant boundary.  No simulated time passes
+        within an instant, so the rates recomputed at the boundary from
+        the final state are the exact floats the last eager commit would
+        have produced; the intermediate recomputes the eager path does
+        are overwritten unread.
+        """
+        if self._defer and self.sim._running:
+            self._pending = True
+            if dirty is None:
+                self._pending_full = True
+            elif not self._pending_full:
+                self._pending_dirty |= dirty
+            return
+        self._commit_now(dirty)
+
+    def _flush_commit(self) -> None:
+        """Engine flush hook: run the one deferred commit for the instant."""
+        if not self._pending:
+            return
+        self._pending = False
+        if self._pending_full:
+            self._pending_full = False
+            self._pending_dirty.clear()
+            dirty = None
+        else:
+            dirty = self._pending_dirty
+            self._pending_dirty = set()
+            # Records both dirtied and retired within the instant are
+            # gone from the resident set; drop their seq numbers.
+            dirty &= self._running.keys()
+        self._commit_now(dirty)
+
+    def _commit_now(self, dirty: Optional[set[int]]) -> None:
+        """The actual commit: recompute affected rates, advance the meter.
+
+        ``dirty=None`` (and ``full_recompute`` mode) sweeps every
         resident.  A dirty set is replayed in launch order — the same
         relative order the full sweep visits — so both paths issue the
         identical sequence of ``schedule`` calls and the event seq
         numbers (the deterministic tie-breakers) coincide.
         """
+        profiler = self._simprofile._ACTIVE
+        if profiler is not None:
+            from time import perf_counter
+            t0 = perf_counter()
         running = self._running
         # Crossover to the full sweep once the dirty set covers at least
         # half the residents: sorted(dirty) + per-record dict lookups
@@ -431,14 +542,22 @@ class GpuDevice:
         # negative at ~90% dirty).  Both paths visit the same records in
         # the same relative order, so the switch is bit-identical.
         if dirty is None or self.full_recompute \
-                or len(dirty) * 2 >= len(running):
+                or (len(dirty) * 2 >= len(running)
+                    and not self._force_incremental):
             self._recompute_rates(running.values())
         else:
             # Dirty entries are per-device seq numbers, so a plain int
             # sort replays them in launch order — the same relative
-            # order the full sweep visits.
-            self._recompute_rates(map(running.__getitem__, sorted(dirty)))
+            # order the full sweep visits.  Singletons (the common case
+            # for isolated launches) skip the sort machinery.
+            if len(dirty) == 1:
+                self._recompute_rates((running[next(iter(dirty))],))
+            else:
+                self._recompute_rates(
+                    map(running.__getitem__, sorted(dirty)))
         self._commit_meter()
+        if profiler is not None:
+            profiler.add("rate_recompute", perf_counter() - t0)
 
     def _apply_occupied(self, per_se: tuple[int, ...], sign: int) -> None:
         """Fold one record's occupied-CU shape into the meter aggregates.
@@ -452,9 +571,10 @@ class GpuDevice:
             if n == 0:
                 continue
             old = occupied[se]
-            new = old + (n if sign > 0 else -n)
+            new = old + n if sign > 0 else old - n
             occupied[se] = new
-            self._busy_cus += min(new, cap) - min(old, cap)
+            self._busy_cus += ((new if new < cap else cap)
+                               - (old if old < cap else cap))
             self._active_ses += (new > 0) - (old > 0)
 
     def _commit_meter(self) -> None:
@@ -478,6 +598,10 @@ class GpuDevice:
         self.meter.advance(self.sim.now, busy, active_ses)
 
     def _recompute_rates(self, records: Iterable[KernelRecord]) -> None:
+        vec = self._vec
+        if vec is not None:
+            self._recompute_rates_vec(records)
+            return
         effective_latency = self._effective_latency
         schedule = self.sim.schedule
         now = self.sim.now
@@ -494,6 +618,69 @@ class GpuDevice:
             # ``now + delay`` is the exact float schedule_in computes.
             delay = 0.0 if remaining <= _PROGRESS_EPS else remaining * latency
             record.completion_event = schedule(now + delay, record.complete_cb)
+
+    def _recompute_rates_vec(self, records: Iterable[KernelRecord]) -> None:
+        """Numpy-mode recompute: array progress, optional vector sweep.
+
+        Small batches use the scalar latency formula per record (the
+        vector sweep's fixed cost loses below ~16 records); large ones
+        compute every slot's latency in one array pass.  Both read
+        progress from the authoritative array and schedule completions
+        in the records' iteration order, exactly like the scalar path.
+        Fault latency scales stay on the scalar formula — the vector
+        sweep does not model them.
+        """
+        vec = self._vec
+        records = records if isinstance(records, list) else list(records)
+        latencies = None
+        if len(records) >= _VECTOR_MIN and self._fault_scale == 1.0 \
+                and not self._fault_tag_scale:
+            total_demand = self._total_demand
+            if self._fault_demand > 0.0:
+                total_demand = total_demand + self._fault_demand
+            latencies = vec.latencies(self._residents, total_demand)
+        effective_latency = self._effective_latency
+        schedule = self.sim.schedule
+        now = self.sim._now
+        progress_arr = vec.progress
+        lat_arr = vec.lat
+        for record in records:
+            if latencies is not None:
+                latency = latencies[record.slot]
+            else:
+                latency = effective_latency(record)
+            event = record.completion_event
+            if event is not None:
+                if not event.cancelled and latency == record.eff_latency:
+                    continue  # rate unchanged; completion still valid
+                event.cancel()
+            record.eff_latency = latency
+            lat_arr[record.slot] = latency
+            # ``item()`` returns a builtin float: numpy scalars must not
+            # leak into event times (their repr would poison the
+            # canonical result JSON downstream).
+            remaining = 1.0 - progress_arr.item(record.slot)
+            # Inlined schedule_in: delay is >= 0 by construction and
+            # ``now + delay`` is the exact float schedule_in computes.
+            delay = 0.0 if remaining <= _PROGRESS_EPS else remaining * latency
+            record.completion_event = schedule(now + delay, record.complete_cb)
+
+    def sync_progress(self) -> None:
+        """Scatter array-authoritative progress back into the records.
+
+        In numpy mode the slot arrays hold the live progress values;
+        call this before reading ``KernelRecord.progress`` directly
+        (audits, tests, snapshots).  No-op in scalar mode.
+        """
+        vec = self._vec
+        if vec is None:
+            return
+        progress = vec.progress
+        for record in self._running.values():
+            value = progress.item(record.slot)
+            # The arrays defer the scalar path's 1.0 clamp (see
+            # RateArrays.advance); apply it on the way out.
+            record.progress = 1.0 if value > 1.0 else value
 
     def check_rate_invariant(self) -> None:
         """Assert every resident's cached rate matches a fresh recompute.
@@ -532,6 +719,7 @@ class GpuDevice:
         violations: list[str] = []
         running = self._running
         topo = self.topology
+        self.sync_progress()
 
         # Reverse index: CU -> resident seq numbers.
         for cu in range(topo.total_cus):
@@ -628,6 +816,9 @@ class GpuDevice:
         if record is None:
             return
         self._advance_progress()
+        if self._vec is not None:
+            self._vec.free(record.slot)
+            record.slot = -1
         record.progress = 1.0
         record.last_update = self.sim.now
         record.end_time = self.sim.now

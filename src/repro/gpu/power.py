@@ -82,6 +82,11 @@ class EnergyMeter:
         self._last_time = 0.0
         self._busy_cus = 0
         self._active_ses = 0
+        # The busy-set space is tiny (total_cus × num_se levels) and the
+        # meter advances on every device state change, so the power
+        # formula is memoised per (busy, active) pair.  The cached float
+        # is the exact value ``model.power`` computes.
+        self._power_cache: dict[tuple[int, int], float] = {}
 
     def advance(self, now: float, busy_cus: int, active_ses: int) -> None:
         """Close the segment ending at ``now`` and open a new one."""
@@ -89,8 +94,11 @@ class EnergyMeter:
             raise ValueError("time moved backwards")
         dt = now - self._last_time
         if dt > 0:
-            power = self.model.power(self.topology, self._busy_cus,
-                                     self._active_ses)
+            key = (self._busy_cus, self._active_ses)
+            power = self._power_cache.get(key)
+            if power is None:
+                power = self.model.power(self.topology, *key)
+                self._power_cache[key] = power
             self.energy_joules += power * dt
             self.busy_cu_seconds += self._busy_cus * dt
         self._last_time = now

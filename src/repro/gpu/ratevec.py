@@ -1,0 +1,225 @@
+"""Numpy-vectorised per-CU rate math for :class:`repro.gpu.device.GpuDevice`.
+
+The device's two hot sweeps — crediting every resident kernel with
+progress on each state change, and recomputing effective latencies for
+large dirty sets / full sweeps — are object-shaped scalar loops in
+:mod:`repro.gpu.exec_model` terms.  This module keeps the same
+quantities in preallocated float64/int arrays indexed by a per-record
+*slot*, so both sweeps become a handful of ufunc calls.
+
+Bit-identity contract (see DESIGN.md): the scalar formulas in
+``exec_model``/``device`` stay the single source of truth, and every
+array expression here is arranged to produce the byte-identical float
+sequence —
+
+* progress advance is elementwise (``divide``/``add``/``minimum`` with
+  ``out=``), and IEEE-754 elementwise ufuncs equal the scalar ops
+  bit-for-bit;
+* free slots hold ``latency = inf`` and ``progress = 0.0``, so the
+  whole-array advance is an exact no-op on them (``elapsed / inf == 0.0``
+  and ``x + 0.0 == x`` for the finite non-negative ``x`` involved);
+* the per-SE capacity sum is accumulated **column-wise in CU order**
+  (one ``+=`` per mask column) because ``np.sum`` uses pairwise
+  summation, which is faster but not the scalar loop's left-to-right
+  order; padded columns contribute exactly ``0.0``;
+* the per-resident-count capacity factors ``(1/r)**alpha`` are computed
+  by the *Python* expression the scalar path uses and only looked up
+  through numpy, so no libm-vs-numpy pow discrepancy can enter;
+* reductions that are order-sensitive in floats are avoided entirely —
+  the only cross-element reduction is ``max``, which is exact.
+
+Everything is import-guarded: without numpy (or with
+``REPRO_SCALAR_RATES=1``) the device keeps its pure-python scalar path
+and this module is never instantiated.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_SCALAR_RATES
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["HAVE_NUMPY", "RateArrays"]
+
+#: Smallest record batch worth the vector path's fixed overhead (array
+#: build + ufunc launch); below it the scalar loop wins.  Measured on the
+#: bench roster: the crossover sits between 8 and 32 residents.
+VECTOR_MIN = 16
+
+
+class RateArrays:
+    """Slot-indexed array mirror of the resident kernels' rate state.
+
+    The device allocates a slot per running kernel; ``lat[slot]`` and
+    ``progress[slot]`` are the authoritative ``eff_latency`` / progress
+    while numpy mode is on (``KernelRecord.progress`` is synced back on
+    demand).  Per-(descriptor, mask) launch invariants live in template
+    rows scattered into ``(capacity, num_se, cus_per_se)`` matrices so a
+    full-sweep latency recompute runs over the whole slot range with no
+    per-record Python work.
+    """
+
+    def __init__(self, topology, config, capacity: int = 64) -> None:
+        self._topology = topology
+        self._config = config
+        self._num_se = topology.num_se
+        self._cus_per_se = topology.cus_per_se
+        self._total_cus = topology.total_cus
+        alpha = config.intra_cu_alpha
+        # Python-computed capacity factors: index = resident count.  The
+        # scalar loop contributes 1.0 for r <= 1 and (1.0 / r) ** alpha
+        # above; the extra trailing entry backs the pad sentinel (a CU
+        # index one past the device) with an exact-zero contribution.
+        limit = topology.max_kernels_per_cu
+        self._ftable = _np.array(
+            [1.0, 1.0] + [(1.0 / r) ** alpha for r in range(2, limit + 1)])
+        self._capvals = _np.empty(self._total_cus + 1)
+        self._capvals[self._total_cus] = 0.0
+        self.capacity = 0
+        self._free: list[int] = []
+        self._grow(capacity)
+        # Slots whose template rows are stale (scattered lazily: the
+        # incremental path may never take the vector sweep, so launches
+        # should not pay the row-copy cost up front).
+        self._stale: dict[int, tuple] = {}
+        self._templates: dict = {}
+
+    def _grow(self, capacity: int) -> None:
+        old = self.capacity
+        num_se, width = self._num_se, self._cus_per_se
+
+        def grown(arr, fill, shape, dtype=float):
+            new = _np.full(shape, fill, dtype=dtype)
+            if old:
+                new[:old] = arr
+            return new
+
+        self.lat = grown(getattr(self, "lat", None), _np.inf, capacity)
+        self.progress = grown(getattr(self, "progress", None), 0.0, capacity)
+        self._tmp = _np.empty(capacity)
+        self._idx = grown(getattr(self, "_idx", None), self._total_cus,
+                          (capacity, num_se, width), dtype=_np.intp)
+        self._weight = grown(getattr(self, "_weight", None), 0.0,
+                             (capacity, num_se))
+        self._nocus = grown(getattr(self, "_nocus", None), True,
+                            (capacity, num_se), dtype=bool)
+        self._floor = grown(getattr(self, "_floor", None), 0.0, capacity)
+        self._flat = grown(getattr(self, "_flat", None), 0.0, capacity)
+        self._mi = grown(getattr(self, "_mi", None), 0.0, capacity)
+        self._hasdem = grown(getattr(self, "_hasdem", None), False,
+                             capacity, dtype=bool)
+        self._free.extend(range(capacity - 1, old - 1, -1))
+        self.capacity = capacity
+
+    # -- slot management ----------------------------------------------------
+    def alloc(self, record) -> int:
+        """Claim a slot for ``record`` (progress 0, latency inf)."""
+        if not self._free:
+            self._grow(self.capacity * 2)
+        slot = self._free.pop()
+        # Template rows are scattered lazily at the first vector sweep.
+        self._stale[slot] = self._template(record)
+        return slot
+
+    def free(self, slot: int) -> None:
+        """Release ``slot``, restoring the exact-no-op fill values."""
+        self.lat[slot] = _np.inf
+        self.progress[slot] = 0.0
+        self._stale.pop(slot, None)
+        # Zero weight + all-inactive SEs make the freed row's latency a
+        # finite don't-care (capacity is forced to 1.0, so no 0/0 NaN).
+        self._weight[slot] = 0.0
+        self._nocus[slot] = True
+        self._free.append(slot)
+
+    # -- progress -----------------------------------------------------------
+    def advance(self, elapsed: float) -> None:
+        """``progress += elapsed / lat``, elementwise.
+
+        Bit-identical to the scalar per-record loop where it matters:
+        same divide, same add; free slots (lat=inf, progress=0) are
+        exact no-ops.  The scalar path's clamp to 1.0 is *deferred* to
+        the read points (``sync_progress``): an unclamped value above
+        1.0 yields a negative remaining fraction, which the completion
+        scheduling maps to the same 0.0 delay the clamped value would —
+        so event times are unaffected, and one ufunc per advance is
+        saved on the hottest call site in the simulator.
+        """
+        _np.divide(elapsed, self.lat, out=self._tmp)
+        _np.add(self.progress, self._tmp, out=self.progress)
+
+    # -- latency ------------------------------------------------------------
+    def _template(self, record):
+        """Per-(descriptor, mask) template row for the vector sweep."""
+        desc = record.launch.descriptor
+        key = (desc, record.mask)
+        cached = self._templates.get(key)
+        if cached is None:
+            idx = _np.full((self._num_se, self._cus_per_se),
+                           self._total_cus, dtype=_np.intp)
+            weight = _np.zeros(self._num_se)
+            for se, w, se_cus in record.se_shares:
+                idx[se, : len(se_cus)] = se_cus
+                weight[se] = w
+            cached = (idx, weight, weight == 0.0, record.floor_latency,
+                      desc.flat_time, desc.mem_intensity,
+                      record.demand > 0.0)
+            self._templates[key] = cached
+        return cached
+
+    def _materialize(self) -> None:
+        """Scatter lazily-pending template rows into the slot matrices."""
+        for slot, tmpl in self._stale.items():
+            idx, weight, nocus, floor, flat, mi, hasdem = tmpl
+            self._idx[slot] = idx
+            self._weight[slot] = weight
+            self._nocus[slot] = nocus
+            self._floor[slot] = floor
+            self._flat[slot] = flat
+            self._mi[slot] = mi
+            self._hasdem[slot] = hasdem
+        self._stale.clear()
+
+    def latencies(self, residents, total_demand: float) -> list[float]:
+        """Effective latency per slot under the current residency.
+
+        ``residents`` is the per-CU resident-count list and
+        ``total_demand`` the effective (fault-inclusive) bandwidth
+        demand.  Returns a Python-float list indexed by slot; free slots
+        hold meaningless (but finite) values.  Fault latency scales are
+        *not* applied — the device falls back to the scalar path while a
+        fault window is open.
+        """
+        if self._stale:
+            self._materialize()
+        config = self._config
+        # Per-CU capacity factors under the current residency, via the
+        # Python-computed table (pad sentinel contributes exact 0.0).
+        capvals = self._capvals
+        capvals[: self._total_cus] = self._ftable[
+            _np.asarray(residents, dtype=_np.intp)]
+        f = capvals[self._idx]
+        # Column-wise accumulation in CU order — the scalar loop's exact
+        # left-to-right reduction (np.sum's pairwise order would differ).
+        cap = _np.zeros_like(self._weight)
+        for j in range(self._cus_per_se):
+            cap += f[:, :, j]
+        # A CU is contended exactly when its factor fell below 1.0
+        # (alpha >= 1, r > 1); pads are 0.0, so exclude them.
+        contended = ((f > 0.0) & (f < 1.0)).any(axis=(1, 2))
+        # SEs the record does not occupy: scalar skips them; give them
+        # capacity 1.0 so the 0/0 row divides to an ignorable 0.0.
+        cap[self._nocus] = 1.0
+        se_time = self._weight / cap
+        shared = se_time.max(axis=1)
+        candidate = (self._flat + shared) + config.launch_overhead
+        floor = self._floor
+        lat = _np.where(contended & (candidate > floor), candidate, floor)
+        if total_demand > config.mem_bandwidth_budget:
+            bw_share = config.mem_bandwidth_budget / total_demand
+            throttle = (1.0 - self._mi) + self._mi * bw_share
+            _np.divide(lat, throttle, out=lat, where=self._hasdem)
+        return lat.tolist()

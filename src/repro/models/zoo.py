@@ -73,6 +73,12 @@ MODEL_NAMES: tuple[str, ...] = tuple(TABLE_III)
 ALL_MODEL_NAMES: tuple[str, ...] = MODEL_NAMES + ("mobilenet",)
 
 
+#: Canonical instance per distinct descriptor value (see
+#: :meth:`KernelSpec.build`).  Bounded by the number of distinct
+#: (spec, scale, topology) combinations a process touches.
+_DESC_INTERN: dict = {}
+
+
 @dataclass(frozen=True)
 class KernelSpec:
     """One kernel template inside a model trace.
@@ -100,7 +106,19 @@ class KernelSpec:
 
     def build(self, scale: float,
               topology: GpuTopology = _MI50) -> KernelDescriptor:
-        """Lower to a concrete descriptor at batch scale ``scale``."""
+        """Lower to a concrete descriptor at batch scale ``scale``.
+
+        The result is *interned*: equal descriptors built by different
+        workers (each worker lowers its own trace) collapse onto one
+        canonical instance, so the device/right-sizer/allocator memo
+        dicts resolve keys by identity instead of 8-field dataclass
+        equality on every serving-loop lookup.
+        """
+        desc = self._build_raw(scale, topology)
+        return _DESC_INTERN.setdefault(desc, desc)
+
+    def _build_raw(self, scale: float,
+                   topology: GpuTopology = _MI50) -> KernelDescriptor:
         bytes_in = max(0, round(self.bytes_in * scale))
         if self.style == "compute":
             min_cus = max(1, min(topology.total_cus,

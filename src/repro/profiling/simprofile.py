@@ -1,0 +1,120 @@
+"""Per-phase wall-time profiler for the simulator hot loop.
+
+``krisp-repro bench --profile`` activates a :class:`SimProfiler`; while
+one is active, the engine switches to an instrumented run loop that
+brackets every event pop and callback with ``perf_counter`` reads, and
+the device / allocator / observability sampler report their own phase
+times into the same profiler.  The result is a wall-time breakdown of
+where a simulation run actually goes:
+
+- ``event_pop``        — queue head search + pop (engine)
+- ``callback``         — total time inside event callbacks (engine);
+  the phases below are sub-intervals of it
+- ``rate_recompute``   — effective-latency recompute + completion
+  rescheduling (device)
+- ``progress_advance`` — per-record progress integration (device)
+- ``allocator``        — CU mask generation + right-sizing (allocator)
+- ``observability``    — metrics sampling callbacks (sampler)
+
+Activation is process-global (module state, not thread-safe — the
+simulator itself is single-threaded) and adds ~2 clock reads per event
+plus 2 per instrumented sub-phase, so profiled throughput numbers are
+*not* comparable with unprofiled runs; use ``--profile`` for the shape
+of the breakdown, the plain bench for absolute events/s.
+
+The engine and device import this module lazily (inside ``run()`` /
+hook sites) because ``repro.profiling``'s package init pulls in the
+model profiler, which itself imports the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SimProfiler", "activate", "deactivate", "current"]
+
+#: Phase keys in reporting order.  ``callback`` is the umbrella for the
+#: component phases after it; anything un-instrumented shows as "other".
+PHASES = (
+    "event_pop",
+    "callback",
+    "rate_recompute",
+    "progress_advance",
+    "allocator",
+    "observability",
+)
+
+#: Sub-phases of ``callback`` (used to derive the "other" bucket).
+_CALLBACK_PHASES = (
+    "rate_recompute",
+    "progress_advance",
+    "allocator",
+    "observability",
+)
+
+_ACTIVE: Optional["SimProfiler"] = None
+
+
+class SimProfiler:
+    """Accumulates wall seconds per hot-loop phase."""
+
+    def __init__(self) -> None:
+        self.seconds = {phase: 0.0 for phase in PHASES}
+        self.events = 0
+
+    def add(self, phase: str, dt: float) -> None:
+        self.seconds[phase] += dt
+
+    def breakdown(self) -> dict:
+        """Phase → seconds, with ``callback`` split into its sub-phases
+        plus a derived ``other`` remainder (uninstrumented callback
+        work: queue/stream bookkeeping, process resumption, tracing).
+        """
+        seconds = self.seconds
+        instrumented = sum(seconds[phase] for phase in _CALLBACK_PHASES)
+        out = {
+            "events": self.events,
+            "total_s": seconds["event_pop"] + seconds["callback"],
+            "event_pop_s": seconds["event_pop"],
+        }
+        for phase in _CALLBACK_PHASES:
+            out[f"{phase}_s"] = seconds[phase]
+        out["other_s"] = max(0.0, seconds["callback"] - instrumented)
+        return out
+
+    def format(self) -> str:
+        """Human-readable table of the breakdown."""
+        info = self.breakdown()
+        total = info["total_s"] or 1.0
+        rows = [("event pop", info["event_pop_s"])]
+        rows += [
+            (phase.replace("_", " "), info[f"{phase}_s"])
+            for phase in _CALLBACK_PHASES
+        ]
+        rows.append(("other (callback)", info["other_s"]))
+        lines = [
+            f"profile: {info['events']} events, {info['total_s']:.3f}s in loop"
+        ]
+        for name, seconds in rows:
+            lines.append(
+                f"  {name:<18} {seconds:>9.3f}s  {100.0 * seconds / total:5.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def activate() -> SimProfiler:
+    """Install a fresh profiler as the process-global active one."""
+    global _ACTIVE
+    _ACTIVE = SimProfiler()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[SimProfiler]:
+    """Clear the active profiler, returning it (with its totals)."""
+    global _ACTIVE
+    profiler, _ACTIVE = _ACTIVE, None
+    return profiler
+
+
+def current() -> Optional[SimProfiler]:
+    return _ACTIVE

@@ -56,9 +56,9 @@ class Stream:
             descriptor=descriptor, requested_cus=requested,
             tag=tag or self.name,
         )
-        signal = self.runtime.create_signal(
-            name=f"{self.name}.k{self.kernels_launched}"
-        )
+        # Unnamed: per-launch f-string names cost real time at serving
+        # rates and nothing consumes them.
+        signal = self.runtime.create_signal()
         packet = KernelDispatchPacket(
             launch=launch, barrier=True, completion_signal=signal
         )

@@ -271,6 +271,7 @@ def run_experiment(
     snapshot("final")
     if stats_out is not None:
         stats_out["events_executed"] = sim.events_executed
+        stats_out["batches_drained"] = sim.batches_drained
         stats_out["sim_time"] = sim.now
     if audit is not None:
         audit(setup, injector)

@@ -1,7 +1,7 @@
 """Event loop for the discrete-event simulator.
 
 The engine is deliberately minimal: events are ``(time, priority, seq)``
-ordered callbacks in a binary heap.  Components schedule callbacks with
+ordered callbacks in a priority queue.  Components schedule callbacks with
 :meth:`Simulator.schedule` (absolute time) or :meth:`Simulator.schedule_in`
 (relative delay) and may cancel them.  Simulated time is a float in
 *seconds*; helpers for milliseconds and microseconds keep call sites
@@ -11,21 +11,44 @@ Determinism: ties in time are broken first by an explicit integer
 ``priority`` (lower runs first) and then by insertion order, so a run is a
 pure function of its inputs and seeds.
 
-Cancelled events are lazily deleted (they stay in the heap until popped),
-which is O(1) per cancel but lets a cancel-heavy workload — the device
-reschedules every affected kernel completion on every rate change — bloat
-the heap with dead entries.  The engine therefore keeps an exact count of
-live entries (making :meth:`Simulator.pending` O(1)) and compacts the heap
-whenever cancelled entries outnumber live ones.  Compaction only rebuilds
-the binary-heap layout; pop order is the total order ``(time, priority,
-seq)``, so it is observationally invisible.
+Two queue implementations sit behind the same scheduling interface: the
+default binary heap and a calendar queue
+(:class:`repro.sim.calendar.CalendarQueue`) whose amortised O(1)
+push/pop wins once the pending set grows deep.  ``Simulator(queue=...)``
+selects ``"heap"``, ``"calendar"``, or ``"auto"`` (start on the heap,
+upgrade once the pending-event count shows calendar-grade density); the
+``REPRO_SIM_QUEUE`` environment variable overrides the default.  Both
+queues realise the identical ``(time, priority, seq)`` total order, so
+the choice is observationally invisible.
+
+Cancelled events are lazily deleted (they stay in the queue until
+popped), which is O(1) per cancel but lets a cancel-heavy workload — the
+device reschedules every affected kernel completion on every rate change
+— bloat the queue with dead entries.  The engine therefore keeps an exact
+count of live entries (making :meth:`Simulator.pending` O(1)) and
+compacts the heap whenever cancelled entries outnumber live ones.
+Compaction only rebuilds the queue layout; pop order is the total order
+``(time, priority, seq)``, so it is observationally invisible.
+
+Equal-timestamp batching: :meth:`Simulator.run` executes events one
+instant at a time — all events sharing the current timestamp are drained
+(in priority/seq order, exactly the order the unbatched loop used)
+before any *flush hook* runs.  A component that accumulates same-instant
+state changes (the device's deferred rate recompute) registers a hook
+with :meth:`Simulator.add_flush_hook`; the engine calls every hook when
+the batch at the current instant is exhausted, re-draining if a hook
+scheduled more work at the same instant, and always flushes before
+:meth:`run` returns.  ``batches_drained`` counts the instants visited —
+alongside ``events_executed`` it keeps throughput reporting honest when
+many events share a timestamp.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import os
 from typing import Callable, Optional
 
 from repro.obs.tracer import NULL_TRACER
@@ -36,30 +59,69 @@ __all__ = ["Event", "Simulator", "SimulationError"]
 MILLISECONDS = 1e-3
 MICROSECONDS = 1e-6
 
+_QUEUE_MODES = ("auto", "heap", "calendar")
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid engine operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so the heap pops them in
-    deterministic order.  ``cancelled`` events stay in the heap but are
+    Events compare by ``(time, priority, seq)`` so the queue pops them in
+    deterministic order.  ``cancelled`` events stay queued but are
     skipped when popped (lazy deletion).
+
+    A hand-written ``__slots__`` class rather than a dataclass: the
+    constructor runs once per scheduled event — the simulator's single
+    hottest allocation — and folding the owning-simulator / in-queue
+    bookkeeping into ``__init__`` saves two attribute stores per event
+    over the dataclass-plus-assignments shape.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    # Owning simulator and heap-membership flag, so a cancel can keep the
-    # engine's live-event count exact without a heap scan.
-    _sim: Optional["Simulator"] = field(
-        default=None, compare=False, repr=False)
-    _in_heap: bool = field(default=False, compare=False, repr=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled",
+                 "_sim", "_in_heap")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], None],
+                 sim: Optional["Simulator"] = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        # Owning simulator and queue-membership flag, so a cancel can
+        # keep the engine's live-event count exact without a queue scan.
+        self._sim = sim
+        self._in_heap = sim is not None
+
+    def __repr__(self) -> str:
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}, cancelled={self.cancelled!r})")
+
+    def _order(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._order() < other._order()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._order() <= other._order()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._order() > other._order()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._order() >= other._order()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._order() == other._order()
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.priority, self.seq))
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it."""
@@ -68,7 +130,11 @@ class Event:
         self.cancelled = True
         sim = self._sim
         if self._in_heap and sim is not None:
-            sim._cancelled_in_heap += 1
+            calendar = sim._calendar
+            if calendar is not None:
+                calendar.cancelled += 1
+            else:
+                sim._cancelled_in_heap += 1
 
 
 class Simulator:
@@ -87,18 +153,43 @@ class Simulator:
     #: rebuild every few dozen cancels.
     COMPACT_MIN = 1024
 
-    def __init__(self, tracer=None) -> None:
+    #: ``queue="auto"`` upgrades from the heap to the calendar queue the
+    #: first time this many events are pending at once: below it the
+    #: C-implemented heap's constant factor wins, above it the heap's
+    #: O(log n) sift depth starts to show.
+    CALENDAR_AUTO_PENDING = 4096
+
+    def __init__(self, tracer=None, queue: Optional[str] = None) -> None:
         # Heap entries are (time, priority, seq, event) tuples: heapq then
         # orders them with C-level tuple comparison (seq is unique, so the
         # Event element is never compared) instead of a Python __lt__ call
         # per sift step — the engine's hottest constant factor.
         self._heap: list[tuple[float, int, int, Event]] = []
+        self._calendar = None
+        if queue is None:
+            queue = os.environ.get("REPRO_SIM_QUEUE", "") or "auto"
+        if queue not in _QUEUE_MODES:
+            raise ValueError(
+                f"unknown queue mode {queue!r}; expected one of "
+                f"{_QUEUE_MODES}")
+        self.queue_mode = queue
+        if queue == "calendar":
+            from repro.sim.calendar import CalendarQueue
+            self._calendar = CalendarQueue()
         self._now = 0.0
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self._cancelled_in_heap = 0
         self.events_executed = 0
+        #: Number of distinct timestamps visited by :meth:`run` — the
+        #: denominator that keeps events/s honest under equal-timestamp
+        #: batching (many events can share one instant).
+        self.batches_drained = 0
+        #: Flush hooks run whenever the batch at the current instant is
+        #: exhausted (and unconditionally before run() returns); see the
+        #: module docstring.
+        self._flush_hooks: list[Callable[[], None]] = []
         #: The observability sink instrumented components report into
         #: (``sim.tracer``).  Defaults to the no-op null tracer, so an
         #: untraced run pays one attribute read per hook site.
@@ -118,6 +209,15 @@ class Simulator:
         self.tracer = tracer
         return tracer
 
+    def add_flush_hook(self, hook: Callable[[], None]) -> None:
+        """Register ``hook`` to run at every instant boundary in run().
+
+        Hooks may schedule new events (including at the current instant —
+        the engine re-drains).  They must be idempotent at a quiescent
+        point: the engine also flushes before run() returns.
+        """
+        self._flush_hooks.append(hook)
+
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
@@ -134,11 +234,17 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, priority, next(self._seq), callback)
-        event._sim = self
-        event._in_heap = True
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, self)
+        calendar = self._calendar
+        if calendar is not None:
+            calendar.push((time, priority, seq, event))
+            if (calendar.cancelled * 2 > len(calendar)
+                    and len(calendar) >= self.COMPACT_MIN):
+                calendar.compact()
+            return event
         heap = self._heap
-        heapq.heappush(heap, (time, priority, event.seq, event))
+        heapq.heappush(heap, (time, priority, seq, event))
         # Compaction is amortised over schedule() calls: the workload
         # that bloats the heap (cancel + reschedule churn) always pairs a
         # cancel with a new schedule, and checking here keeps cancel()
@@ -146,6 +252,10 @@ class Simulator:
         if (self._cancelled_in_heap * 2 > len(heap)
                 and len(heap) >= self.COMPACT_MIN):
             self._compact()
+        elif (self.queue_mode == "auto"
+                and len(heap) - self._cancelled_in_heap
+                >= self.CALENDAR_AUTO_PENDING):
+            self._upgrade_to_calendar()
         return event
 
     def schedule_in(
@@ -160,26 +270,79 @@ class Simulator:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
+    def _upgrade_to_calendar(self) -> None:
+        """Move the live pending set into a calendar queue (auto mode).
+
+        Both queues realise the same ``(time, priority, seq)`` total
+        order, so the switch is observationally invisible; it happens at
+        most once per simulator.
+        """
+        from repro.sim.calendar import CalendarQueue
+        live = [entry for entry in self._heap if not entry[3].cancelled]
+        self._calendar = CalendarQueue(live)
+        for entry in self._heap:
+            if entry[3].cancelled:
+                entry[3]._in_heap = False
+        self._heap = []
+        self._cancelled_in_heap = 0
+
+    # -- queue-generic helpers ----------------------------------------------
+    def _peek_entry(self):
+        """Live (time, priority, seq, event) at the queue head, or None.
+
+        Pops cancelled entries on the way, keeping accounting exact.
+        """
+        calendar = self._calendar
+        if calendar is not None:
+            return calendar.peek()
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heapq.heappop(heap)
+                entry[3]._in_heap = False
+                self._cancelled_in_heap -= 1
+            else:
+                return entry
+        return None
+
+    def _pop_entry(self):
+        """Pop and return the live queue head entry (must exist)."""
+        calendar = self._calendar
+        if calendar is not None:
+            entry = calendar.pop()
+        else:
+            entry = heapq.heappop(self._heap)
+        entry[3]._in_heap = False
+        return entry
+
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` when idle."""
-        while self._heap and self._heap[0][3].cancelled:
-            self._pop()
-        return self._heap[0][0] if self._heap else None
+        entry = self._peek_entry()
+        return entry[0] if entry is not None else None
 
     def step(self) -> bool:
-        """Execute the next event.  Returns ``False`` when none remain."""
-        while self._heap:
-            event = self._pop()
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.events_executed += 1
-            event.callback()
-            return True
-        return False
+        """Execute the next event.  Returns ``False`` when none remain.
+
+        Single-stepping runs outside the batching loop: components that
+        defer work to flush hooks commit eagerly when the engine is not
+        inside :meth:`run`, so state is consistent after every step.
+        """
+        entry = self._peek_entry()
+        if entry is None:
+            return False
+        self._pop_entry()
+        event = entry[3]
+        self._now = event.time
+        self.events_executed += 1
+        event.callback()
+        return True
 
     def _pop(self) -> Event:
-        """Pop the heap top, keeping the live/cancelled accounting exact."""
+        """Pop the heap top, keeping the live/cancelled accounting exact.
+
+        (Heap-mode internal, kept for the engine test suite.)
+        """
         event = heapq.heappop(self._heap)[3]
         event._in_heap = False
         if event.cancelled:
@@ -198,40 +361,221 @@ class Simulator:
         self._heap = live
         self._cancelled_in_heap = 0
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the event heap drains, ``until`` passes, or ``stop()``.
+    def _flush(self) -> None:
+        """Run every flush hook (instant-boundary commit point)."""
+        for hook in self._flush_hooks:
+            hook()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the event queue drains, ``until`` passes, or ``stop()``.
 
         Returns the simulated time at exit.  When ``until`` is given the
-        clock is advanced to ``until`` even if the heap drained earlier,
-        which keeps time integration (e.g. energy) well defined.
+        clock is advanced to ``until`` even if the queue drained earlier,
+        which keeps time integration (e.g. energy) well defined.  Flush
+        hooks have run by the time run() returns, whatever the exit path.
+
+        The loop suspends the cyclic garbage collector while it runs (the
+        event/callback object churn otherwise triggers thousands of
+        gen-0 collections); reference counting still reclaims the
+        transient objects, and the collector is restored on exit.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
-        executed = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while not self._stopped:
-                nxt = self.peek()
-                if nxt is None:
-                    break
-                if until is not None and nxt > until:
-                    break
-                self.step()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            from repro.profiling import simprofile
+            profiler = simprofile._ACTIVE
+            if profiler is not None or self._calendar is not None:
+                self._run_generic(until, max_events, profiler)
+            else:
+                self._run_heap(until, max_events)
         finally:
-            self._running = False
+            try:
+                self._flush()
+            finally:
+                self._running = False
+                if gc_was_enabled:
+                    # Re-enable without an eager full collect: a full
+                    # pass over the millions of objects a long run
+                    # leaves live costs seconds, and the collector will
+                    # catch any surviving cycles on its own schedule.
+                    gc.enable()
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
 
+    def _run_heap(self, until: Optional[float],
+                  max_events: Optional[int]) -> None:
+        """The hot loop: heap-only, batching by equal timestamp.
+
+        Equivalent to ``while step(): ...`` plus flush hooks at instant
+        boundaries — events still execute strictly in ``(time, priority,
+        seq)`` order; only the flush points are new.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        hooks = self._flush_hooks
+        executed = 0
+        batches = 0
+        try:
+            while not self._stopped:
+                # Find the live queue head.
+                while heap:
+                    entry = heap[0]
+                    if entry[3].cancelled:
+                        pop(heap)
+                        entry[3]._in_heap = False
+                        self._cancelled_in_heap -= 1
+                    else:
+                        break
+                else:
+                    break
+                t = entry[0]
+                if until is not None and t > until:
+                    break
+                self._now = t
+                batches += 1
+                # Drain every live event at t; flush hooks between waves.
+                while True:
+                    pop(heap)
+                    event = entry[3]
+                    event._in_heap = False
+                    executed += 1
+                    event.callback()
+                    if self._stopped or (max_events is not None
+                                         and executed >= max_events):
+                        return
+                    if self._calendar is not None:
+                        # A schedule() inside the callback upgraded the
+                        # queue (auto mode); hand the rest of the run —
+                        # including the remainder of this batch — to the
+                        # queue-agnostic loop.
+                        remaining = (None if max_events is None
+                                     else max_events - executed)
+                        self._run_generic(until, remaining, None, batch_t=t)
+                        return
+                    while heap:
+                        entry = heap[0]
+                        if entry[3].cancelled:
+                            pop(heap)
+                            entry[3]._in_heap = False
+                            self._cancelled_in_heap -= 1
+                        else:
+                            break
+                    else:
+                        entry = None
+                    if entry is not None and entry[0] == t:
+                        continue
+                    # Instant exhausted: flush; hooks may schedule at t.
+                    if hooks:
+                        for hook in hooks:
+                            hook()
+                        while heap:
+                            entry = heap[0]
+                            if entry[3].cancelled:
+                                pop(heap)
+                                entry[3]._in_heap = False
+                                self._cancelled_in_heap -= 1
+                            else:
+                                break
+                        else:
+                            entry = None
+                        if entry is not None and entry[0] == t:
+                            continue
+                    break
+        finally:
+            # Buffered locally during the loop (nothing reads the
+            # counters mid-run); the generic loop a delegation may have
+            # entered increments them directly, so add, don't assign.
+            self.events_executed += executed
+            self.batches_drained += batches
+
+    def _run_generic(self, until: Optional[float],
+                     max_events: Optional[int], profiler,
+                     batch_t: Optional[float] = None) -> None:
+        """Queue-agnostic batching loop (calendar / profiled / handoff).
+
+        Same semantics as :meth:`_run_heap`; pays one indirection per
+        event, plus two clock reads when a profiler is active.  When
+        ``batch_t`` is given the loop resumes *inside* an already-counted
+        batch at that instant (the heap loop hands off here when auto
+        mode upgrades the queue mid-run).
+        """
+        executed = 0
+        clock = None
+        if max_events is not None and max_events <= 0:
+            return
+        if profiler is not None:
+            from time import perf_counter as clock
+        while not self._stopped:
+            t0 = clock() if clock is not None else 0.0
+            entry = self._peek_entry()
+            if entry is None:
+                break
+            t = entry[0]
+            if batch_t is not None:
+                resume_t, batch_t = batch_t, None
+                if t != resume_t:
+                    # The handed-off batch was already exhausted: flush
+                    # it (hooks may schedule more work at resume_t), then
+                    # either resume it or fall through to a new batch.
+                    if self._flush_hooks:
+                        self._flush()
+                        entry = self._peek_entry()
+                        if entry is None:
+                            break
+                        t = entry[0]
+                    if t != resume_t:
+                        if until is not None and t > until:
+                            break
+                        self._now = t
+                        self.batches_drained += 1
+            elif until is not None and t > until:
+                break
+            else:
+                self._now = t
+                self.batches_drained += 1
+            while True:
+                self._pop_entry()
+                event = entry[3]
+                self.events_executed += 1
+                executed += 1
+                if clock is not None:
+                    t1 = clock()
+                    profiler.add("event_pop", t1 - t0)
+                    event.callback()
+                    t0 = clock()
+                    profiler.add("callback", t0 - t1)
+                    profiler.events += 1
+                else:
+                    event.callback()
+                if self._stopped or (max_events is not None
+                                     and executed >= max_events):
+                    return
+                entry = self._peek_entry()
+                if entry is not None and entry[0] == t:
+                    continue
+                if self._flush_hooks:
+                    self._flush()
+                    entry = self._peek_entry()
+                    if entry is not None and entry[0] == t:
+                        continue
+                break
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1)."""
+        if self._calendar is not None:
+            return len(self._calendar) - self._calendar.cancelled
         return len(self._heap) - self._cancelled_in_heap
 
     def _pending_scan(self) -> int:
-        """O(heap) reference count of live events (debug cross-check for
+        """O(queue) reference count of live events (debug cross-check for
         the O(1) counter; tests assert both agree)."""
+        if self._calendar is not None:
+            return self._calendar.live_scan()
         return sum(1 for entry in self._heap if not entry[3].cancelled)

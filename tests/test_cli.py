@@ -104,16 +104,19 @@ def test_bench_command(tmp_path, capsys):
     assert "speedup" in printed and "hashes identical" in printed
 
     report = json.loads(out.read_text())
-    assert report["schema"] == 1
+    assert report["schema"] == 2
     assert {row["mode"] for row in report["rows"]} == {"incremental", "full"}
     for row in report["rows"]:
         assert row["scenario"] == "colo4"
+        assert row["queue"] == "auto"
         assert row["wall_s"] > 0
         assert row["events"] > 0
+        assert 0 < row["batches"] <= row["events"]
         assert len(row["result_hash"]) == 64
     hashes = {row["result_hash"] for row in report["rows"]}
     assert len(hashes) == 1
     assert "colo4" in report["speedups"]
+    assert report["recommended_modes"]["colo4"] in ("incremental", "full")
 
     # The fresh report gates cleanly against itself as a baseline.
     assert main(["bench", "colo4", "--check", str(out)]) == 0

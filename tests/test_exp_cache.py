@@ -212,3 +212,44 @@ def test_json_store_concurrent_writers_never_corrupt(tmp_path):
     # Last write wins with a complete value, and no temp files leak.
     assert JsonStore(path).get("k") in payloads.values()
     assert [p.name for p in tmp_path.iterdir()] == ["store.json"]
+
+
+# -- shard layout & legacy migration -----------------------------------------
+
+def test_entries_land_in_two_hex_shard_subdirs(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    cache.put(BASE, _synthetic_result(BASE))
+    key = cache_key(BASE)
+    path = cache.path_for(BASE)
+    assert path == tmp_path / "results" / key[:2] / f"{key}.json"
+    assert path.exists()
+
+
+def test_flat_legacy_entry_hits_and_migrates_on_read(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache()
+    result = _synthetic_result(BASE)
+    cache.put(BASE, result)
+    key = cache_key(BASE)
+    sharded = cache.path_for(BASE)
+    # Rewind to the pre-sharding layout: flat <results>/<key>.json.
+    legacy = tmp_path / "results" / f"{key}.json"
+    sharded.rename(legacy)
+    sharded.parent.rmdir()
+
+    assert cache.get(BASE) == result          # legacy entry still hits...
+    assert sharded.exists()                   # ...and was moved into its shard
+    assert not legacy.exists()
+    assert cache.stats.hits == 1
+
+    assert cache.get(BASE) == result          # steady state: sharded read
+    assert cache.stats.hits == 2
+
+
+def test_locate_entry_misses_resolve_to_sharded_path(tmp_path):
+    from repro.exp.cache import locate_entry, sharded_entry_path
+
+    key = "ab" + "0" * 62
+    assert locate_entry(tmp_path, key) == sharded_entry_path(tmp_path, key)
+    assert locate_entry(tmp_path, key) == tmp_path / "ab" / f"{key}.json"
