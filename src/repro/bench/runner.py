@@ -249,21 +249,59 @@ def write_report(report: dict, path: str | Path) -> Path:
     return path
 
 
+def _history_positions(root: Path) -> dict[str, int]:
+    """Commit SHAs of ``root``'s first-parent history, oldest first."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-list", "--first-parent", "--reverse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=str(root),
+        )
+    except OSError:
+        return {}
+    if out.returncode != 0:
+        return {}
+    return {sha: index for index, sha in enumerate(out.stdout.split())}
+
+
 def default_baseline_path(root: Optional[Path] = None) -> Optional[Path]:
     """Newest committed ``BENCH_*.json`` at the repo root, or ``None``.
 
-    "Newest" is by modification time (checkouts materialise commit order
-    as mtime order for files committed in sequence); an explicit
-    ``--check`` path always overrides this discovery.
+    "Newest" is decided by content, never by directory order or mtime
+    (fresh clones and CI checkouts materialise arbitrary mtimes): each
+    candidate's embedded ``rev`` is ranked by its position in the repo's
+    first-parent history, falling back to ``(schema, filename)`` for
+    revs outside the history (or without git), so the same working tree
+    always picks the same baseline.  Unreadable candidates rank last.
+    An explicit ``--check`` path always overrides this discovery.
     """
     if root is None:
         candidate = Path(__file__).resolve().parents[3]
         if not (candidate / "pyproject.toml").exists():
             return None
         root = candidate
-    benches = sorted(root.glob("BENCH_*.json"),
-                     key=lambda p: p.stat().st_mtime)
-    return benches[-1] if benches else None
+    benches = sorted(root.glob("BENCH_*.json"))
+    if not benches:
+        return None
+    history = _history_positions(root)
+
+    def rank(path: Path) -> tuple:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return (-1, -1, -1, path.name)
+        rev = str(payload.get("rev", ""))
+        position = -1
+        if rev and rev != "unknown":
+            for sha, index in history.items():
+                if sha.startswith(rev):
+                    position = index
+                    break
+        schema = payload.get("schema")
+        if not isinstance(schema, int):
+            schema = 0
+        return (0 if position < 0 else 1, position, schema, path.name)
+
+    return max(benches, key=rank)
 
 
 def baseline_deltas(report: dict, baseline: dict) -> dict[str, float]:
@@ -273,12 +311,15 @@ def baseline_deltas(report: dict, baseline: dict) -> dict[str, float]:
     faster.  Works across schema versions (every schema's rows carry
     ``events_per_s``); rows present on only one side are skipped.
     """
-    base_rows = {(r["scenario"], r["mode"]): r
-                 for r in baseline.get("rows", [])}
+    # ``.get`` throughout: a legacy schema-1 baseline predates several
+    # row keys (``batches``, ``queue``), and a hand-edited one may lack
+    # anything — comparison degrades to the rows both sides share.
+    base_rows = {(r.get("scenario"), r.get("mode")): r
+                 for r in baseline.get("rows", []) if isinstance(r, dict)}
     deltas: dict[str, float] = {}
     for row in report.get("rows", []):
-        base = base_rows.get((row["scenario"], row["mode"]))
-        if base and base.get("events_per_s"):
+        base = base_rows.get((row.get("scenario"), row.get("mode")))
+        if base and base.get("events_per_s") and row.get("events_per_s"):
             deltas[f"{row['scenario']}/{row['mode']}"] = round(
                 row["events_per_s"] / base["events_per_s"], 2)
     return deltas
@@ -300,11 +341,11 @@ def check_report(report: dict, baseline: dict, *,
             f"schema mismatch: baseline {baseline.get('schema')} "
             f"vs report {report.get('schema')}")
         return failures
-    base_rows = {(r["scenario"], r["mode"]): r
-                 for r in baseline.get("rows", [])}
+    base_rows = {(r.get("scenario"), r.get("mode")): r
+                 for r in baseline.get("rows", []) if isinstance(r, dict)}
     for row in report.get("rows", []):
-        base = base_rows.get((row["scenario"], row["mode"]))
-        if base is None:
+        base = base_rows.get((row.get("scenario"), row.get("mode")))
+        if base is None or base.get("wall_s") is None:
             continue
         limit = base["wall_s"] * (1.0 + max_regression)
         if row["wall_s"] > limit:

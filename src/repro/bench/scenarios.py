@@ -21,6 +21,10 @@ incremental-recompute work targets:
 ``maskgen``
     Pure Algorithm-1 stress: mask generation against churning per-CU
     counters, no DES at all.  Isolates the allocator.
+``maskgen-pooled``
+    The identical request stream served from the ECLIP-style mask pools
+    (:mod:`repro.core.pools`) — profiled side by side with ``maskgen``,
+    the allocator-phase delta is the pooled policy's overhead win.
 """
 
 from __future__ import annotations
@@ -127,28 +131,60 @@ def _run_chaos() -> ScenarioRun:
                  guard=CHAOS_GUARD)
 
 
-def _run_maskgen() -> ScenarioRun:
-    """Algorithm-1 churn: generate/retire masks against live counters."""
-    topology = GpuTopology.mi50()
-    generator = ResourceMaskGenerator(topology, reshape=True)
+def _churn_masks(allocator, iterations: int = 60_000) -> ScenarioRun:
+    """Mask-churn core shared by ``maskgen`` and ``maskgen-pooled``.
+
+    ``allocator`` is anything with ``generate(num_cus, counters)`` over
+    the mi50 topology.  Both scenarios draw the identical request stream
+    (same RNG label), so ``bench --profile maskgen maskgen-pooled``
+    compares allocator-phase time on the same workload.  The per-mask
+    work is timed into the profiler's ``allocator`` phase; with the
+    profiler inactive the loop body is the historical one (the pinned
+    maskgen hash is unchanged).
+    """
+    from repro.profiling import simprofile
+
+    topology = allocator.topology
     counters = CUKernelCounters(topology)
     rng = RngRegistry(seed=0).stream("bench/maskgen")
     live: deque = deque()
     digest = hashlib.sha256()
-    iterations = 60_000
+    profiler = simprofile._ACTIVE
+    if profiler is not None:
+        from time import perf_counter
     for _ in range(iterations):
         num_cus = int(rng.integers(1, topology.total_cus + 1))
-        mask = generator.generate(num_cus, counters)
+        if profiler is not None:
+            t0 = perf_counter()
+        mask = allocator.generate(num_cus, counters)
+        if profiler is not None:
+            profiler.add("allocator", perf_counter() - t0)
         counters.assign(mask)
         live.append(mask)
         digest.update(mask.bits.to_bytes(16, "little"))
-        # Keep ~24 kernels resident so Algorithm 1 sees a loaded device.
+        # Keep ~24 kernels resident so the allocator sees a loaded device.
         while len(live) > 24:
             counters.release(live.popleft())
     while live:
         counters.release(live.popleft())
     return ScenarioRun(result_hash=digest.hexdigest(), events=iterations,
                        batches=iterations)
+
+
+def _run_maskgen() -> ScenarioRun:
+    """Algorithm-1 churn: generate/retire masks against live counters."""
+    topology = GpuTopology.mi50()
+    return _churn_masks(ResourceMaskGenerator(topology, reshape=True))
+
+
+def _run_maskgen_pooled() -> ScenarioRun:
+    """The same churn served from ECLIP-style mask pools."""
+    from repro.core.pools import PooledMaskAllocator
+
+    topology = GpuTopology.mi50()
+    allocator = PooledMaskAllocator(
+        ResourceMaskGenerator(topology, reshape=True))
+    return _churn_masks(allocator)
 
 
 SCENARIOS: dict[str, Scenario] = {
@@ -178,6 +214,11 @@ SCENARIOS: dict[str, Scenario] = {
             "maskgen",
             "Algorithm-1 mask generation against churning counters",
             _run_maskgen,
+        ),
+        Scenario(
+            "maskgen-pooled",
+            "pooled (ECLIP-style) mask selection on the maskgen stream",
+            _run_maskgen_pooled,
         ),
     )
 }

@@ -40,6 +40,7 @@ from repro.server.experiment import run_experiment
 from repro.server.options import RunOptions
 
 __all__ = [
+    "check_allocation_modes",
     "check_cache_replay",
     "check_experiment_invariants",
     "check_pool_modes",
@@ -74,6 +75,50 @@ def check_recompute_modes(name: str) -> tuple[list[str], dict[str, Any]]:
     return [], details
 
 
+def check_allocation_modes(name: str, allocation: str,
+                           sizing: str = "static"
+                           ) -> tuple[list[str], dict[str, Any]]:
+    """Incremental vs full recompute under a non-default allocation.
+
+    The pinned ``modes`` check replays a scenario's frozen ``execute``
+    closure, which cannot change allocation policy — so this check
+    rebuilds the cell with the requested ``allocation``/``sizing`` and
+    runs it through both recompute modes directly, asserting the
+    bit-identity contract holds for the new policies too.  The run is
+    audited (device self-audit + request conservation) on the
+    incremental pass.
+    """
+    from repro.bench.runner import _env
+
+    scenario = _scenario(name)
+    if scenario.config is None:
+        raise ValueError(f"scenario {name!r} has no experiment config")
+    config = replace(scenario.config, allocation=allocation, sizing=sizing)
+    faults = _faults(scenario, config)
+    violations: list[str] = []
+    hashes: dict[str, str] = {}
+
+    def audit(setup, injector) -> None:
+        violations.extend(setup.device.audit_state())
+        violations.extend(request_conservation(setup, injector))
+
+    for mode in ("incremental", "full"):
+        with _env(REPRO_RECOMPUTE=mode):
+            result = run_experiment(
+                config,
+                RunOptions(faults=faults, guard=scenario.guard,
+                           audit=audit if mode == "incremental" else None))
+        hashes[mode] = result_hash(result)
+    if hashes["incremental"] != hashes["full"]:
+        violations.append(
+            f"{name}/{allocation}: incremental hash "
+            f"{hashes['incremental']} != full-recompute hash "
+            f"{hashes['full']}")
+    return ([f"{name}: {v}" if not v.startswith(name) else v
+             for v in violations],
+            {"allocation": allocation, "sizing": sizing, **hashes})
+
+
 def check_pool_modes(name: str) -> tuple[list[str], dict[str, Any]]:
     """Serial vs pooled sweep hashes over the scenario cell.
 
@@ -104,20 +149,23 @@ def check_pool_modes(name: str) -> tuple[list[str], dict[str, Any]]:
     return violations, {"serial": hashes[1], "pooled": hashes[2]}
 
 
-def check_cache_replay(name: str) -> tuple[list[str], dict[str, Any]]:
+def check_cache_replay(name: str, allocation: str = "krisp",
+                       sizing: str = "static"
+                       ) -> tuple[list[str], dict[str, Any]]:
     """Fresh vs cache-round-tripped result hashes for one scenario."""
     scenario = _scenario(name)
     if scenario.config is None:
         raise ValueError(f"scenario {name!r} has no experiment config")
-    faults = _faults(scenario, scenario.config)
+    config = replace(scenario.config, allocation=allocation, sizing=sizing)
+    faults = _faults(scenario, config)
     root = Path(tempfile.mkdtemp(prefix="repro-check-cache-"))
     try:
         store = ResultCache(root=root)
         fresh = cached_run_experiment(
-            scenario.config, cache=store, faults=faults,
+            config, cache=store, faults=faults,
             guard=scenario.guard)
         cached = cached_run_experiment(
-            scenario.config, cache=store, faults=faults,
+            config, cache=store, faults=faults,
             guard=scenario.guard)
         violations = []
         fresh_hash, cached_hash = result_hash(fresh), result_hash(cached)
@@ -135,13 +183,15 @@ def check_cache_replay(name: str) -> tuple[list[str], dict[str, Any]]:
         shutil.rmtree(root, ignore_errors=True)
 
 
-def check_experiment_invariants(name: str) -> tuple[list[str],
-                                                    dict[str, Any]]:
+def check_experiment_invariants(name: str, allocation: str = "krisp",
+                                sizing: str = "static"
+                                ) -> tuple[list[str], dict[str, Any]]:
     """One audited scenario run: device audit + request conservation."""
     scenario = _scenario(name)
     if scenario.config is None:
         raise ValueError(f"scenario {name!r} has no experiment config")
-    faults = _faults(scenario, scenario.config)
+    config = replace(scenario.config, allocation=allocation, sizing=sizing)
+    faults = _faults(scenario, config)
     violations: list[str] = []
     details: dict[str, Any] = {}
 
@@ -153,7 +203,7 @@ def check_experiment_invariants(name: str) -> tuple[list[str],
                                    for w in setup.workers)
 
     result = run_experiment(
-        scenario.config, RunOptions(faults=faults, guard=scenario.guard,
-                                    audit=audit))
+        config, RunOptions(faults=faults, guard=scenario.guard,
+                           audit=audit))
     details["result_hash"] = result_hash(result)
     return [f"{name}: {violation}" for violation in violations], details

@@ -52,6 +52,7 @@ __all__ = [
     "request_conservation",
     "run_device_program",
     "run_mask_program",
+    "run_pool_program",
 ]
 
 
@@ -178,6 +179,55 @@ def run_mask_program(
     while live:
         counters.release(live.popleft())
     violations.extend(counters.audit())
+    return checker.violations + violations
+
+
+def run_pool_program(
+    seed: int,
+    iterations: int = 400,
+    policy: DistributionPolicy = DistributionPolicy.CONSERVED,
+    overlap_limit: Optional[int] = None,
+    reshape: bool = True,
+    topology: Optional[GpuTopology] = None,
+    audit_every: int = 50,
+    contention: bool = False,
+    stats_out: Optional[dict] = None,
+) -> list[str]:
+    """:func:`run_mask_program`, but through the pooled allocator.
+
+    The pooled policy's lawfulness contract says every pool-served mask
+    satisfies L1-L4 at the original request, so the identical checker
+    and churn program apply — same RNG stream, same residency pattern —
+    and any divergence from the contract surfaces as a violation.
+    ``stats_out`` (when given) receives the allocator's
+    :meth:`~repro.core.pools.PooledMaskAllocator.pool_stats`.
+    """
+    from repro.core.pools import PooledMaskAllocator
+
+    topo = topology or GpuTopology.mi50()
+    generator = ResourceMaskGenerator(
+        topo, policy=policy, overlap_limit=overlap_limit, reshape=reshape)
+    allocator = PooledMaskAllocator(generator, contention=contention)
+    counters = CUKernelCounters(topo)
+    checker = MaskLawChecker(allocator, counters)
+    rng = RngRegistry(seed=seed).stream(
+        f"check/poolgen/{policy.value}/{overlap_limit}")
+    live: deque = deque()
+    violations: list[str] = []
+    for i in range(iterations):
+        mask = checker.generate(int(rng.integers(1, topo.total_cus + 1)))
+        counters.assign(mask)
+        live.append(mask)
+        keep = int(rng.integers(0, 28))
+        while len(live) > keep:
+            counters.release(live.popleft())
+        if i % audit_every == 0:
+            violations.extend(counters.audit())
+    while live:
+        counters.release(live.popleft())
+    violations.extend(counters.audit())
+    if stats_out is not None:
+        stats_out.update(allocator.pool_stats())
     return checker.violations + violations
 
 

@@ -28,13 +28,18 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from repro.bench.scenarios import SCENARIOS
 from repro.check.attribution import check_attribution_conservation
 from repro.check.differential import (
+    check_allocation_modes,
     check_cache_replay,
     check_experiment_invariants,
     check_pool_modes,
     check_recompute_modes,
 )
 from repro.check.emulation import check_emulation_correction
-from repro.check.invariants import run_device_program, run_mask_program
+from repro.check.invariants import (
+    run_device_program,
+    run_mask_program,
+    run_pool_program,
+)
 from repro.check.metamorphic import check_mask_growth, check_overlap_limit_law
 from repro.check.mutate import MUTATIONS
 from repro.check.report import CheckReport, CheckResult
@@ -74,9 +79,28 @@ def _device_audit() -> tuple[list[str], dict[str, Any]]:
     return violations, {"modes": ["incremental", "full"]}
 
 
+def _pool_laws() -> tuple[list[str], dict[str, Any]]:
+    """Pooled allocator under the identical mask-law churn (L1-L4)."""
+    violations: list[str] = []
+    checked = 0
+    stats: dict[str, Any] = {}
+    for overlap_limit in (None, 0, 8):
+        for contention in (False, True):
+            per_run: dict = {}
+            violations.extend(run_pool_program(
+                seed=0, iterations=300, overlap_limit=overlap_limit,
+                contention=contention, stats_out=per_run))
+            checked += 300
+            for key, value in per_run.items():
+                stats[key] = stats.get(key, 0) + value
+    stats["masks_checked"] = checked
+    return violations, stats
+
+
 def _global_checks() -> list[tuple[str, CheckFn]]:
     return [
         ("mask-laws", _mask_laws),
+        ("pool-laws", _pool_laws),
         ("device-audit", _device_audit),
         ("emulation-correction", check_emulation_correction),
         ("mask-growth", check_mask_growth),
@@ -85,9 +109,30 @@ def _global_checks() -> list[tuple[str, CheckFn]]:
     ]
 
 
-def _scenario_checks(names: Iterable[str]) -> list[tuple[str, CheckFn]]:
+def _scenario_checks(names: Iterable[str],
+                     allocation: str = "krisp",
+                     sizing: str = "static") -> list[tuple[str, CheckFn]]:
     checks: list[tuple[str, CheckFn]] = []
     for name in names:
+        if allocation != "krisp" or sizing != "static":
+            # The pinned ``modes`` replay runs a frozen scenario closure
+            # that cannot change allocation; rebuild the cell instead.
+            if SCENARIOS[name].config is None:
+                continue
+            checks.append(
+                (f"alloc-modes:{name}:{allocation}",
+                 lambda name=name: check_allocation_modes(
+                     name, allocation, sizing)))
+            if name in _FULL_TREATMENT:
+                checks.append(
+                    (f"alloc-cache:{name}:{allocation}",
+                     lambda name=name: check_cache_replay(
+                         name, allocation=allocation, sizing=sizing)))
+                checks.append(
+                    (f"alloc-invariants:{name}:{allocation}",
+                     lambda name=name: check_experiment_invariants(
+                         name, allocation=allocation, sizing=sizing)))
+            continue
         checks.append((f"modes:{name}",
                        lambda name=name: check_recompute_modes(name)))
         if name in _FULL_TREATMENT and SCENARIOS[name].config is not None:
@@ -102,7 +147,9 @@ def _scenario_checks(names: Iterable[str]) -> list[tuple[str, CheckFn]]:
 
 
 def _build_checks(scenarios: Optional[Sequence[str]],
-                  include_all: bool) -> list[tuple[str, CheckFn]]:
+                  include_all: bool,
+                  allocation: str = "krisp",
+                  sizing: str = "static") -> list[tuple[str, CheckFn]]:
     if scenarios is not None:
         unknown = sorted(set(scenarios) - set(SCENARIOS))
         if unknown:
@@ -114,7 +161,7 @@ def _build_checks(scenarios: Optional[Sequence[str]],
         names = tuple(SCENARIOS)
     else:
         names = DEFAULT_SCENARIOS
-    return _global_checks() + _scenario_checks(names)
+    return _global_checks() + _scenario_checks(names, allocation, sizing)
 
 
 def available_checks(include_all: bool = True) -> list[str]:
@@ -142,16 +189,22 @@ def run_checks(
     scenarios: Optional[Sequence[str]] = None,
     include_all: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    allocation: str = "krisp",
+    sizing: str = "static",
 ) -> CheckReport:
     """Run the audit suite and return its report.
 
     ``scenarios`` restricts the differential replays to the named pinned
     scenarios (global checks always run); ``include_all`` widens the
     default roster to every scenario; ``progress`` receives each check
-    name as it starts.
+    name as it starts.  A non-default ``allocation``/``sizing`` swaps
+    the per-scenario replays for the allocation-policy differentials
+    (``alloc-modes``/``alloc-cache``/``alloc-invariants``) so the new
+    policies are audited end to end.
     """
     report = CheckReport()
-    for name, fn in _build_checks(scenarios, include_all):
+    for name, fn in _build_checks(scenarios, include_all, allocation,
+                                  sizing):
         if progress is not None:
             progress(name)
         report.add(_execute(name, fn))

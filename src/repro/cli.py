@@ -24,6 +24,10 @@ be explored without writing code:
 * ``fleet SPEC.yaml`` — a simulated multi-GPU fleet: devices × router
   policy × offered-rate grid with per-model pool autoscaling, optional
   node-crash injection, and per-device utilization/goodput accounting.
+* ``alloc MODEL [MODEL...]`` — compare mask-allocation policies (per-
+  kernel Algorithm 1 vs the pooled/contention-aware allocators): a
+  mask-law churn audit with wall times and pool statistics, a serving
+  cell per policy, and an optional mixed-chaos cell.
 
 The recurring flags — ``--jobs``, ``--no-cache``, ``--json-out``,
 ``--duration`` — are defined once on shared parent parsers, so they
@@ -386,6 +390,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         batch_size=args.batch, seed=args.seed,
         requests_scale=args.scale, emulated=args.emulated,
         use_cache=not args.no_cache, jobs=jobs, progress=progress,
+        allocation=args.allocation, sizing=args.sizing,
     )
     print(file=sys.stderr)
     print(report.to_text())
@@ -408,7 +413,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         config = ExperimentConfig(
             model_names=names, policy=policy, batch_size=args.batch,
             seed=args.seed, emulated=args.emulated,
-            requests_scale=args.scale)
+            requests_scale=args.scale,
+            allocation=args.allocation, sizing=args.sizing)
         tracer = Tracer()
         run_experiment(config, options=RunOptions(
             tracer=tracer, faults=build_scenario(scenario, config),
@@ -577,13 +583,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare:
         baseline_path = default_baseline_path()
         if baseline_path is not None:
-            baseline = json.loads(baseline_path.read_text())
-            deltas = baseline_deltas(report, baseline)
-            for key, ratio in deltas.items():
-                print(f"{key:<24} {ratio:>6.2f}x events/s "
-                      f"vs {baseline_path.name}")
-            if not deltas:
-                print(f"no comparable rows in {baseline_path.name}")
+            try:
+                baseline = json.loads(baseline_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"baseline {baseline_path.name} unreadable "
+                      f"({exc}); skipping deltas", file=sys.stderr)
+            else:
+                deltas = baseline_deltas(report, baseline)
+                for key, ratio in deltas.items():
+                    print(f"{key:<24} {ratio:>6.2f}x events/s "
+                          f"vs {baseline_path.name}")
+                if not deltas:
+                    print(f"no comparable rows in {baseline_path.name}")
         else:
             print("no committed BENCH_*.json baseline found for deltas")
 
@@ -641,7 +652,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     try:
         report = run_checks(scenarios=args.scenario,
-                            include_all=args.all, progress=progress)
+                            include_all=args.all, progress=progress,
+                            allocation=args.allocation, sizing=args.sizing)
     except ValueError as exc:
         print(f"check failed: {exc}", file=sys.stderr)
         return 2
@@ -652,6 +664,146 @@ def _cmd_check(args: argparse.Namespace) -> int:
             json.dumps(report.to_dict(), indent=2))
         print(f"wrote check report to {args.json_out}")
     return 0 if report.ok else 1
+
+
+#: Allocation/sizing policy rosters, duplicated as literals so parser
+#: construction stays import-light; a parity test pins them against
+#: :mod:`repro.core.pools`.
+_ALLOCATION_CHOICES = ("krisp", "pooled", "pooled-contention")
+_SIZING_CHOICES = ("static", "predictive")
+
+
+def _cmd_alloc(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.check.invariants import run_mask_program, run_pool_program
+    from repro.exp.cache import fingerprint, result_hash
+
+    models = tuple(args.models) if args.models else ("squeezenet",)
+    unknown = sorted(set(models) - set(ALL_MODEL_NAMES))
+    if unknown:
+        print(f"unknown model(s) {unknown}; choose from "
+              f"{sorted(ALL_MODEL_NAMES)}", file=sys.stderr)
+        return 2
+    names = models * args.workers if len(models) == 1 else models
+    allocations = tuple(dict.fromkeys(args.allocations))
+    total_violations = 0
+
+    # Phase 1: the mask-law churn audit.  Every allocation policy serves
+    # the identical seeded request stream under the L1-L4 checker; the
+    # wall column is the allocator-overhead comparison (stdout only —
+    # the JSON document stays deterministic).
+    law_rows = []
+    print(f"-- mask-law churn ({args.iterations} masks/policy, "
+          f"seed {args.seed}) --")
+    for allocation in allocations:
+        stats: dict = {}
+        start = time.perf_counter()
+        if allocation == "krisp":
+            violations = run_mask_program(
+                seed=args.seed, iterations=args.iterations)
+        else:
+            violations = run_pool_program(
+                seed=args.seed, iterations=args.iterations,
+                contention=allocation == "pooled-contention",
+                stats_out=stats)
+        wall = time.perf_counter() - start
+        total_violations += len(violations)
+        pool_note = ""
+        if stats:
+            pool_note = (f"  hits {stats.get('pool_hits', 0)} "
+                         f"repacks {stats.get('repacks', 0)} "
+                         f"fallbacks {stats.get('fallbacks', 0)}")
+        print(f"{allocation:<18} wall {wall:>7.3f}s  "
+              f"violations {len(violations)}{pool_note}")
+        for violation in violations[:5]:
+            print(f"  VIOLATION: {violation}", file=sys.stderr)
+        row = {"allocation": allocation, "masks": args.iterations,
+               "violations": len(violations)}
+        if stats:
+            row["pool"] = stats
+        law_rows.append(row)
+
+    # Phase 2: one serving cell per allocation policy (same workload,
+    # same sizing), hashed so grids are comparable bit-for-bit.
+    cell_rows = []
+    print(f"\n-- serving cells ({'+'.join(dict.fromkeys(names))}, "
+          f"{len(names)} workers, {args.policy}, sizing {args.sizing}) --")
+    for allocation in allocations:
+        config = ExperimentConfig(
+            model_names=names, policy=args.policy, batch_size=args.batch,
+            seed=args.seed, requests_scale=args.scale,
+            allocation=allocation, sizing=args.sizing)
+        result = run_experiment(config)
+        cell_hash = result_hash(result)
+        print(f"{allocation:<18} rps {result.total_rps:>9.2f}  "
+              f"p95 {result.max_p95() * 1e3:>7.2f}ms  "
+              f"hash {cell_hash[:16]}")
+        cell_rows.append({
+            "allocation": allocation,
+            "sizing": args.sizing,
+            "result_hash": cell_hash,
+            "total_rps": result.total_rps,
+            "max_p95_ms": result.max_p95() * 1e3,
+        })
+
+    # Phase 3 (optional): the mixed-fault chaos cell per policy, with
+    # the standard guard rails — resilience under the new allocators.
+    chaos_rows = []
+    if args.chaos:
+        from repro.exp.chaos import build_scenario, default_guard
+
+        print("\n-- mixed-chaos cells (guarded) --")
+        for allocation in allocations:
+            config = ExperimentConfig(
+                model_names=names, policy=args.policy,
+                batch_size=args.batch, seed=args.seed,
+                requests_scale=args.scale,
+                allocation=allocation, sizing=args.sizing)
+            result = run_experiment(config, RunOptions(
+                faults=build_scenario("mixed", config),
+                guard=default_guard(config)))
+            cell_hash = result_hash(result)
+            res = result.resilience
+            print(f"{allocation:<18} goodput {result.goodput_rps:>9.2f}  "
+                  f"shed {res.shed if res else 0:>4} "
+                  f"degraded {res.degraded if res else 0:>4}  "
+                  f"hash {cell_hash[:16]}")
+            chaos_rows.append({
+                "allocation": allocation,
+                "sizing": args.sizing,
+                "result_hash": cell_hash,
+                "goodput_rps": result.goodput_rps,
+                "shed": res.shed if res else 0,
+                "degraded": res.degraded if res else 0,
+            })
+
+    if args.json_out:
+        payload = {
+            "schema": 1,
+            "config": {"model_names": list(names),
+                       "policy": args.policy,
+                       "batch_size": args.batch,
+                       "seed": args.seed,
+                       "requests_scale": args.scale,
+                       "sizing": args.sizing},
+            "constants": fingerprint(),
+            "law_audit": law_rows,
+            "cells": cell_rows,
+            "chaos": chaos_rows,
+        }
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nwrote {len(allocations)}-policy comparison to "
+              f"{args.json_out}")
+
+    if total_violations:
+        print(f"\nLAW VIOLATIONS: {total_violations} across the churn "
+              "audit", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -855,6 +1007,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace-out", default=None,
                        help="re-run one fault-injected cell under the "
                             "tracer and write a Chrome trace here")
+    chaos.add_argument("--allocation", choices=_ALLOCATION_CHOICES,
+                       default="krisp",
+                       help="mask-allocation policy for the KRISP cells")
+    chaos.add_argument("--sizing", choices=_SIZING_CHOICES,
+                       default="static",
+                       help="kernel right-sizing policy for the KRISP "
+                            "cells")
     chaos.set_defaults(func=_cmd_chaos)
 
     report = sub.add_parser(
@@ -930,7 +1089,47 @@ def build_parser() -> argparse.ArgumentParser:
                             "caught, 2 when one escapes)")
     check.add_argument("--list", action="store_true",
                        help="list every check and mutation, then exit")
+    check.add_argument("--allocation", choices=_ALLOCATION_CHOICES,
+                       default="krisp",
+                       help="audit the scenario replays under this mask-"
+                            "allocation policy (non-default swaps in the "
+                            "alloc-* differential checks)")
+    check.add_argument("--sizing", choices=_SIZING_CHOICES,
+                       default="static",
+                       help="kernel right-sizing policy for the scenario "
+                            "replays")
     check.set_defaults(func=_cmd_check)
+
+    alloc = sub.add_parser(
+        "alloc", parents=[parents["json_out"]],
+        help="compare mask-allocation policies: law churn audit + "
+             "serving cells")
+    # No ``choices=`` here: argparse rejects an empty nargs="*" match
+    # against a choices list, which would break the bare default.
+    alloc.add_argument("models", nargs="*", metavar="MODEL",
+                       help="models for the serving cells (default: "
+                            "squeezenet)")
+    alloc.add_argument("--workers", "-n", type=int, default=4,
+                       help="replicas when a single model is given")
+    alloc.add_argument("--policy", "-p", choices=POLICY_NAMES,
+                       default="krisp-i")
+    alloc.add_argument("--allocations", "-a", nargs="+",
+                       choices=_ALLOCATION_CHOICES,
+                       default=list(_ALLOCATION_CHOICES),
+                       help="allocation policies to compare (default: all)")
+    alloc.add_argument("--sizing", choices=_SIZING_CHOICES,
+                       default="static",
+                       help="kernel right-sizing policy for the cells")
+    alloc.add_argument("--batch", type=int, default=8)
+    alloc.add_argument("--seed", type=int, default=0)
+    alloc.add_argument("--scale", type=float, default=0.25,
+                       help="measurement-window scale (requests_scale)")
+    alloc.add_argument("--iterations", type=int, default=3000,
+                       help="masks per policy in the law churn audit")
+    alloc.add_argument("--chaos", action="store_true",
+                       help="also run the guarded mixed-fault cell per "
+                            "policy")
+    alloc.set_defaults(func=_cmd_alloc)
 
     fleet = sub.add_parser(
         "fleet",

@@ -47,6 +47,23 @@ class KrispConfig:
     #: Regenerate shrunk allocations into balanced shapes (see
     #: :class:`repro.core.allocation.ResourceMaskGenerator`).
     reshape: bool = True
+    #: Mask-allocation policy: ``"krisp"`` (per-kernel Algorithm 1),
+    #: ``"pooled"``, or ``"pooled-contention"`` (see
+    #: :mod:`repro.core.pools`).
+    allocation: str = "krisp"
+    #: Right-sizing policy: ``"static"`` or ``"predictive"``.
+    sizing: str = "static"
+
+    def __post_init__(self) -> None:
+        from repro.core.pools import ALLOCATION_POLICIES, SIZING_POLICIES
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"unknown allocation {self.allocation!r}; "
+                f"available: {list(ALLOCATION_POLICIES)}")
+        if self.sizing not in SIZING_POLICIES:
+            raise ValueError(
+                f"unknown sizing {self.sizing!r}; "
+                f"available: {list(SIZING_POLICIES)}")
 
 
 class KrispAllocator:
@@ -121,11 +138,25 @@ class KrispSystem:
             overlap_limit=self.config.overlap_limit,
             reshape=self.config.reshape,
         )
-        self.allocator = KrispAllocator(generator)
-        self.rightsizer = KernelRightSizer(
+        if self.config.allocation == "krisp":
+            self.allocator = KrispAllocator(generator)
+        else:
+            from repro.core.pools import PooledMaskAllocator
+            self.allocator = PooledMaskAllocator(
+                generator,
+                contention=self.config.allocation == "pooled-contention",
+            )
+        self.rightsizer = self._wrap_sizer(KernelRightSizer(
             database, device.topology, margin_cus=self.config.margin_cus
-        )
+        ))
         self.runtime = HsaRuntime(sim, device, allocator=self.allocator)
+
+    def _wrap_sizer(self, sizer: KernelRightSizer):
+        """Layer the configured sizing policy over a static oracle."""
+        if self.config.sizing == "predictive":
+            from repro.core.pools import PredictiveRightSizer
+            return PredictiveRightSizer(sizer, self.device)
+        return sizer
 
     def create_stream(
         self,
@@ -148,12 +179,12 @@ class KrispSystem:
         """
         sizer = self.rightsizer
         if fallback_cus is not None:
-            sizer = KernelRightSizer(
+            sizer = self._wrap_sizer(KernelRightSizer(
                 self.database,
                 self.device.topology,
                 margin_cus=self.config.margin_cus,
                 fallback_cus=fallback_cus,
-            )
+            ))
         if emulated:
             return EmulatedKernelScopedStream(
                 self.runtime,

@@ -119,17 +119,38 @@ class PerfDatabase:
         serial, pooled, and cached runs.  At least one entry is dropped
         for any ``fraction > 0`` on a non-empty database.
         """
+        return len(self.take_fraction(fraction, seed=seed))
+
+    def take_fraction(self, fraction: float,
+                      seed: int = 0) -> dict[KernelKey, int]:
+        """:meth:`drop_fraction`, but return the removed entries.
+
+        The returned mapping is what :meth:`restore` takes back — the
+        fault injector holds it for the duration of a bounded dropout
+        window, then reinstates it when the window closes.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         if fraction == 0.0 or not self._min_cus:
-            return 0
+            return {}
         ranked = sorted(
             self._min_cus,
             key=lambda key: hashlib.sha256(
                 f"{seed}:{key.encode()}".encode()).hexdigest(),
         )
         count = max(1, int(round(fraction * len(ranked))))
-        for key in ranked[:count]:
-            del self._min_cus[key]
+        taken = {key: self._min_cus.pop(key) for key in ranked[:count]}
         self.generation += 1
-        return count
+        return taken
+
+    def restore(self, entries: dict[KernelKey, int]) -> None:
+        """Reinstate entries removed by :meth:`take_fraction`.
+
+        Bumps the generation so memo layers (the right-sizer's hit and
+        fallback caches) drop every answer derived from the degraded
+        database.  A no-op for an empty mapping.
+        """
+        if not entries:
+            return
+        self._min_cus.update(entries)
+        self.generation += 1

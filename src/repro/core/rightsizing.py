@@ -48,16 +48,20 @@ class KernelRightSizer:
         self.unprofiled: set[str] = set()
         #: Launches answered through the fallback path (missing DB entry).
         self.degraded = 0
-        # Memo of *hits* only, keyed by descriptor.  The serving loop
+        # Memo of answers, keyed by descriptor.  The serving loop
         # re-resolves the same few descriptors millions of times, so
         # replay the answer while keeping the database's lookup count
-        # honest.  The cache is tied to the database's mutation
+        # honest.  Both caches are tied to the database's mutation
         # generation: a mid-run change (fault-injected perf-DB dropout,
-        # an offline profiling merge) drops every memoised answer.
-        # Misses are never memoised — they mutate
-        # ``unprofiled``/``degraded`` and should start hitting once the
-        # gap is filled.
+        # a dropout window closing and restoring entries, an offline
+        # profiling merge) drops every memoised answer.  Fallback
+        # answers are memoised *separately* from hits — never in
+        # ``_hit_cache`` — so a stale degraded answer can never shadow
+        # a recovered database entry, and a fallback-memo replay keeps
+        # the miss accounting (``lookups``/``misses``/``degraded``)
+        # identical to an unmemoised lookup.
         self._hit_cache: dict[KernelDescriptor, int] = {}
+        self._fallback_cache: dict[KernelDescriptor, int] = {}
         self._hit_cache_gen = database.generation
 
     def __call__(self, desc: KernelDescriptor) -> Optional[int]:
@@ -65,18 +69,29 @@ class KernelRightSizer:
         database = self.database
         if database.generation != self._hit_cache_gen:
             self._hit_cache.clear()
+            self._fallback_cache.clear()
             self._hit_cache_gen = database.generation
         cached = self._hit_cache.get(desc)
         if cached is not None:
             database.lookups += 1
+            return cached
+        cached = self._fallback_cache.get(desc)
+        if cached is not None:
+            # Observationally identical to re-running the miss path.
+            database.lookups += 1
+            database.misses += 1
+            self.degraded += 1
             return cached
         min_cus = self.database.lookup(desc)
         if min_cus is None:
             self.unprofiled.add(desc.name)
             self.degraded += 1
             if self.fallback_cus is not None:
-                return min(self.topology.total_cus, self.fallback_cus)
-            return self.topology.total_cus
+                result = min(self.topology.total_cus, self.fallback_cus)
+            else:
+                result = self.topology.total_cus
+            self._fallback_cache[desc] = result
+            return result
         result = min(self.topology.total_cus, min_cus + self.margin_cus)
         self._hit_cache[desc] = result
         return result

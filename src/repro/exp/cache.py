@@ -127,10 +127,15 @@ def locate_entry(directory: Path, key: str) -> Path:
 
     Pre-sharding stores kept every entry directly in ``directory``.
     Reads prefer the sharded location; a flat legacy file is moved into
-    its shard on first touch (best-effort, atomic ``os.replace`` — on
-    failure the flat path is returned and the entry still hits).  A key
-    present in neither place resolves to the sharded path, so miss
-    handling targets the canonical location.
+    its shard on first touch (best-effort, atomic ``os.replace``).  The
+    migration is idempotent under races: when two readers touch the same
+    flat entry, the first ``os.replace`` wins and the loser — whose own
+    rename fails because the source vanished — serves the winner's
+    sharded file.  A rename that fails with the flat file still in place
+    (cross-device store, read-only directory) falls back to an atomic
+    copy, and to the flat path itself if even that fails — never a miss,
+    never a vanished path.  A key present in neither place resolves to
+    the sharded path, so miss handling targets the canonical location.
     """
     sharded = sharded_entry_path(directory, key)
     if sharded.exists():
@@ -142,7 +147,27 @@ def locate_entry(directory: Path, key: str) -> Path:
             os.replace(legacy, sharded)
             return sharded
         except OSError:
+            pass
+        if sharded.exists():
+            # Lost the migrate race: another reader already moved it.
+            return sharded
+        try:
+            text = legacy.read_text()
+        except OSError:
+            # The flat file vanished between the rename attempt and the
+            # read (racer finished mid-way), or is unreadable.
+            return legacy if legacy.exists() else sharded
+        # Flat file still present and readable, but not renamable
+        # (EXDEV/EACCES): migrate by atomic copy, best-effort unlink.
+        try:
+            _atomic_write_text(sharded, text)
+        except OSError:
             return legacy
+        try:
+            os.unlink(legacy)
+        except OSError:
+            pass
+        return sharded
     return sharded
 
 
@@ -170,6 +195,14 @@ def config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
     the dict compares equal to its own JSON round-trip)."""
     data = dataclasses.asdict(config)
     data["model_names"] = list(data["model_names"])
+    # Only-when-non-default folding (same contract as the fault/guard
+    # key fields): the allocation-policy knobs postdate most cached
+    # results, and dropping them at their defaults keeps every
+    # pre-existing cache key and result hash byte-identical.
+    if data.get("allocation") == "krisp":
+        del data["allocation"]
+    if data.get("sizing") == "static":
+        del data["sizing"]
     return data
 
 

@@ -216,6 +216,8 @@ def run_chaos(
     use_cache: bool = True,
     jobs: int = 1,
     progress=None,
+    allocation: str = "krisp",
+    sizing: str = "static",
 ) -> ChaosReport:
     """Run the policy × scenario resilience grid.
 
@@ -223,13 +225,16 @@ def run_chaos(
     the same :class:`SloGuard`, so deltas isolate the *faults*, not the
     guard rails.  Results route through the content-addressed cache.
     ``jobs > 1`` fans the independent cells out over a process pool;
-    results are bit-identical to serial execution.
+    results are bit-identical to serial execution.  ``allocation`` and
+    ``sizing`` select the mask-allocation / right-sizing policies for
+    the KRISP cells (:mod:`repro.core.pools`).
     """
     configs = {
         policy: ExperimentConfig(
             model_names=tuple(model_names), policy=policy,
             batch_size=batch_size, seed=seed, emulated=emulated,
             requests_scale=requests_scale,
+            allocation=allocation, sizing=sizing,
         )
         for policy in policies
     }

@@ -226,6 +226,7 @@ class FaultInjector:
     # -- perf-DB dropout ----------------------------------------------------
     def _dropout(self, event: PerfDbDropout) -> None:
         dropped = 0
+        taken = []
         seen: set[int] = set()
         for stream in self.setup.streams:
             sizer = getattr(stream, "rightsizer", None) \
@@ -234,7 +235,21 @@ class FaultInjector:
             if database is None or id(database) in seen:
                 continue
             seen.add(id(database))
-            dropped += database.drop_fraction(event.fraction,
-                                              seed=self.schedule.seed)
+            entries = database.take_fraction(event.fraction,
+                                             seed=self.schedule.seed)
+            dropped += len(entries)
+            if entries:
+                taken.append((database, entries))
+        # A bounded outage restores the taken entries when the window
+        # closes (silent end, like straggler/spike windows — only the
+        # start counts as an injection).
+        if event.duration > 0.0 and taken:
+            self.setup.sim.schedule(
+                event.time + event.duration,
+                lambda entries=taken: self._dropout_end(entries))
         self._record(event, {"fraction": event.fraction,
                              "entries_dropped": dropped})
+
+    def _dropout_end(self, taken) -> None:
+        for database, entries in taken:
+            database.restore(entries)

@@ -142,16 +142,25 @@ class RequestStorm:
 
 @dataclass(frozen=True)
 class PerfDbDropout:
-    """A ``fraction`` of perf-DB entries vanish at ``time``."""
+    """A ``fraction`` of perf-DB entries vanish at ``time``.
+
+    ``duration > 0`` bounds the outage: the dropped entries are restored
+    ``duration`` seconds later (the transient-corruption / failed-reload
+    case), and the right-sizer recovers its database answers.  The
+    default ``duration=0`` keeps the historical permanent dropout.
+    """
 
     time: float
     fraction: float = 0.25
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError("dropout time must be >= 0")
         if not 0.0 < self.fraction <= 1.0:
             raise ValueError("fraction must be in (0, 1]")
+        if self.duration < 0:
+            raise ValueError("dropout duration must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -232,13 +241,19 @@ class FaultSchedule:
     # -- serialisation (cache keys, cross-process transport) ---------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-native form; stable enough to fold into cache keys."""
+        events = []
+        for e in self.events:
+            entry = {"kind": event_kind(e), **dataclasses.asdict(e)}
+            # A permanent dropout serialises exactly as it did before
+            # the ``duration`` field existed, keeping every legacy
+            # cache key byte-identical.
+            if isinstance(e, PerfDbDropout) and e.duration == 0.0:
+                del entry["duration"]
+            events.append(entry)
         return {
             "seed": self.seed,
             "reload": dataclasses.asdict(self.reload),
-            "events": [
-                {"kind": event_kind(e), **dataclasses.asdict(e)}
-                for e in self.events
-            ],
+            "events": events,
         }
 
     @classmethod

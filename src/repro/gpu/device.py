@@ -216,6 +216,12 @@ class GpuDevice:
         self._fault_scale = 1.0
         self._fault_tag_scale: dict[str, float] = {}
         self._fault_demand = 0.0
+        # Pool-switch accounting (repro.core.pools): repacks charged by
+        # the pooled allocator.  Pure bookkeeping — never folded into
+        # kernel latency, so the krisp path's float sequences are
+        # untouched.
+        self.pool_switches = 0
+        self.pool_switch_cost_s = 0.0
 
     # -- public API -------------------------------------------------------
     def launch(
@@ -301,7 +307,24 @@ class GpuDevice:
         self.counters.tick(self.sim.now)
         self._commit_meter()
 
+    def charge_pool_switch(self, cost_s: float) -> None:
+        """Account one pooled-allocator repack/pool-switch.
+
+        ``cost_s`` is the modelled wall cost of rebinding a queue to a
+        different pool entry (an IOCTL-sized constant).  Accounting
+        only: the simulator clock and kernel latencies are unaffected.
+        """
+        if cost_s < 0:
+            raise ValueError("pool-switch cost must be >= 0")
+        self.pool_switches += 1
+        self.pool_switch_cost_s += cost_s
+
     # -- fault injection ----------------------------------------------------
+    @property
+    def fault_latency_scale(self) -> float:
+        """Current global straggler multiplier (1.0 = no fault active)."""
+        return self._fault_scale
+
     @property
     def fault_demand(self) -> float:
         """External (injected) bandwidth demand, in budget units."""
@@ -720,6 +743,17 @@ class GpuDevice:
         running = self._running
         topo = self.topology
         self.sync_progress()
+
+        # Pool-switch ledger: monotone non-negative, and cost implies
+        # at least one switch.
+        if self.pool_switches < 0 or self.pool_switch_cost_s < 0.0:
+            violations.append(
+                f"pool-switch ledger negative: {self.pool_switches} "
+                f"switches, {self.pool_switch_cost_s} s")
+        elif self.pool_switches == 0 and self.pool_switch_cost_s != 0.0:
+            violations.append(
+                f"pool-switch cost {self.pool_switch_cost_s} s accrued "
+                "with zero switches")
 
         # Reverse index: CU -> resident seq numbers.
         for cu in range(topo.total_cus):

@@ -68,6 +68,16 @@ class ExperimentConfig:
     #: False selects the literal single-pass Algorithm 1 allocation
     #: (ragged masks) instead of the balanced two-pass refinement.
     allocator_reshape: bool = True
+    #: Mask-allocation policy for the KRISP policies: ``"krisp"``
+    #: (per-kernel Algorithm 1), ``"pooled"`` (ECLIP-style pre-generated
+    #: pools), or ``"pooled-contention"`` (pools plus the
+    #: memory-interference co-residency bias).  Ignored by the MPS
+    #: baselines, which do not allocate per-kernel masks.
+    allocation: str = "krisp"
+    #: Right-sizing policy: ``"static"`` (perf-DB oracle) or
+    #: ``"predictive"`` (online bandwidth/straggler-aware shrinking over
+    #: the oracle).
+    sizing: str = "static"
 
     def __post_init__(self) -> None:
         if not self.model_names:
@@ -76,6 +86,15 @@ class ExperimentConfig:
             raise ValueError("batch_size must be >= 1")
         if self.requests_scale <= 0:
             raise ValueError("requests_scale must be > 0")
+        from repro.core.pools import ALLOCATION_POLICIES, SIZING_POLICIES
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"unknown allocation {self.allocation!r}; "
+                f"available: {list(ALLOCATION_POLICIES)}")
+        if self.sizing not in SIZING_POLICIES:
+            raise ValueError(
+                f"unknown sizing {self.sizing!r}; "
+                f"available: {list(SIZING_POLICIES)}")
 
     def exec_config(self) -> ExecutionModelConfig:
         """Execution-model configuration with ablation overrides applied."""

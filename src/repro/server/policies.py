@@ -123,11 +123,14 @@ class KrispPolicy(Policy):
     """Kernel-scoped partitions; ``overlap_limit`` selects O vs I."""
 
     def __init__(self, name: str, overlap_limit: Optional[int],
-                 emulated: bool = False, reshape: bool = True) -> None:
+                 emulated: bool = False, reshape: bool = True,
+                 allocation: str = "krisp", sizing: str = "static") -> None:
         self.name = name
         self.overlap_limit = overlap_limit
         self.emulated = emulated
         self.reshape = reshape
+        self.allocation = allocation
+        self.sizing = sizing
 
     def setup(self, sim, device, plans):
         batch = plans[0].batch_size
@@ -136,7 +139,9 @@ class KrispPolicy(Policy):
         system = KrispSystem(
             sim, device, database,
             config=KrispConfig(overlap_limit=self.overlap_limit,
-                               reshape=self.reshape),
+                               reshape=self.reshape,
+                               allocation=self.allocation,
+                               sizing=self.sizing),
         )
         # Each stream degrades to its model-wise right-size when a kernel
         # is missing from the perf-DB (a complete DB never consults it).
@@ -163,13 +168,17 @@ POLICY_NAMES: tuple[str, ...] = (
 
 def get_policy(name: str, emulated: bool = False,
                overlap_limit: Optional[int] = None,
-               reshape: bool = True) -> Policy:
+               reshape: bool = True,
+               allocation: str = "krisp",
+               sizing: str = "static") -> Policy:
     """Policy factory.
 
     ``emulated`` selects the barrier-packet emulation for the KRISP
     policies; ``overlap_limit`` overrides KRISP's overlap budget (the
     Fig. 16 sweep); ``reshape=False`` selects the literal single-pass
-    Algorithm 1. All three are ignored by the non-KRISP policies.
+    Algorithm 1; ``allocation``/``sizing`` select the mask-allocation
+    and right-sizing policies of :mod:`repro.core.pools`.  All are
+    ignored by the non-KRISP policies.
     """
     if name == "mps-default":
         return MpsDefaultPolicy()
@@ -180,9 +189,11 @@ def get_policy(name: str, emulated: bool = False,
     if name == "krisp-o":
         limit = overlap_limit  # None = unlimited oversubscription
         return KrispPolicy("krisp-o", limit, emulated=emulated,
-                           reshape=reshape)
+                           reshape=reshape, allocation=allocation,
+                           sizing=sizing)
     if name == "krisp-i":
         limit = 0 if overlap_limit is None else overlap_limit
         return KrispPolicy("krisp-i", limit, emulated=emulated,
-                           reshape=reshape)
+                           reshape=reshape, allocation=allocation,
+                           sizing=sizing)
     raise KeyError(f"unknown policy {name!r}; available: {POLICY_NAMES}")

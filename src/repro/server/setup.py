@@ -105,7 +105,9 @@ class ServingSetup:
                  for name in config.model_names]
         policy = get_policy(config.policy, emulated=config.emulated,
                             overlap_limit=config.overlap_limit,
-                            reshape=config.allocator_reshape)
+                            reshape=config.allocator_reshape,
+                            allocation=config.allocation,
+                            sizing=config.sizing)
         streams = policy.setup(sim, device, plans)
         return cls(config=config, sim=sim, device=device, topology=topology,
                    rng=rng, plans=plans, policy=policy, streams=streams,

@@ -1,0 +1,114 @@
+"""Legacy-entry migration races in ``locate_entry`` (repro.exp.cache).
+
+The bug class: two readers (pooled sweep workers) touch the same flat
+legacy cache file at once.  The first ``os.replace`` wins; the loser's
+rename raises because the source vanished, and the old code could then
+report a miss — or crash — for an entry that exists on disk.  The fix
+makes migrate-on-read idempotent under races (serve the winner's
+sharded file), falls back to an atomic copy when rename itself is
+impossible (EXDEV/EACCES), and never returns a path that misses.
+"""
+
+import errno
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exp.cache import locate_entry, sharded_entry_path
+
+KEY = "ab" + "0" * 62
+BODY = '{"entry": 1}'
+
+
+def _legacy(tmp_path, key=KEY, body=BODY):
+    path = tmp_path / f"{key}.json"
+    path.write_text(body)
+    return path
+
+
+def test_migrates_legacy_to_shard_and_is_idempotent(tmp_path):
+    legacy = _legacy(tmp_path)
+    sharded = sharded_entry_path(tmp_path, KEY)
+    first = locate_entry(tmp_path, KEY)
+    assert first == sharded
+    assert first.read_text() == BODY
+    assert not legacy.exists()
+    # Second touch: already sharded, nothing to migrate.
+    assert locate_entry(tmp_path, KEY) == sharded
+    assert sharded.read_text() == BODY
+
+
+def test_missing_key_resolves_to_canonical_shard(tmp_path):
+    sharded = sharded_entry_path(tmp_path, KEY)
+    assert locate_entry(tmp_path, KEY) == sharded
+    assert not sharded.exists()
+
+
+def test_lost_race_serves_the_winners_file(tmp_path, monkeypatch):
+    # Simulate losing the migrate race: the "winner" completes the real
+    # rename, then our own replace call observes the vanished source.
+    _legacy(tmp_path)
+    real_replace = os.replace
+
+    def racing_replace(src, dst, **kwargs):
+        real_replace(src, dst, **kwargs)  # the winner's move
+        raise FileNotFoundError(errno.ENOENT, "lost the race", str(src))
+
+    monkeypatch.setattr("repro.exp.cache.os.replace", racing_replace)
+    found = locate_entry(tmp_path, KEY)
+    assert found == sharded_entry_path(tmp_path, KEY)
+    assert found.read_text() == BODY
+
+
+def test_unrenamable_legacy_migrates_by_atomic_copy(tmp_path, monkeypatch):
+    # EXDEV-style failure: rename is impossible (cross-device store) but
+    # the flat file is intact — migrate by copy, then drop the original.
+    legacy = _legacy(tmp_path)
+    real_replace = os.replace
+
+    def exdev_replace(src, dst, **kwargs):
+        if str(src) == str(legacy):
+            raise OSError(errno.EXDEV, "cross-device link", str(src))
+        real_replace(src, dst, **kwargs)  # the copy's temp-file publish
+
+    monkeypatch.setattr("repro.exp.cache.os.replace", exdev_replace)
+    found = locate_entry(tmp_path, KEY)
+    assert found == sharded_entry_path(tmp_path, KEY)
+    assert found.read_text() == BODY
+    assert not legacy.exists()
+
+
+def test_totally_stuck_legacy_is_served_in_place(tmp_path, monkeypatch):
+    # Even rename AND copy failing must not lose the entry: serve the
+    # flat path itself.
+    legacy = _legacy(tmp_path)
+
+    def broken_replace(src, dst, **kwargs):
+        raise OSError(errno.EACCES, "read-only store", str(src))
+
+    monkeypatch.setattr("repro.exp.cache.os.replace", broken_replace)
+    found = locate_entry(tmp_path, KEY)
+    assert found == legacy
+    assert found.read_text() == BODY
+
+
+def test_concurrent_migration_never_misses(tmp_path):
+    # Hammer several flat keys from many threads at once: every call
+    # must come back with a readable path holding the right body, and
+    # every key must end up migrated exactly once.
+    keys = [f"{i:02x}" + f"{i:064x}"[-62:] for i in range(8)]
+    for key in keys:
+        _legacy(tmp_path, key=key, body=f'{{"entry": "{key}"}}')
+
+    def touch(key):
+        path = locate_entry(tmp_path, key)
+        return key, path, path.read_text()
+
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        results = list(pool.map(touch, keys * 8))
+
+    for key, path, body in results:
+        assert body == f'{{"entry": "{key}"}}'
+        assert path.exists()
+    for key in keys:
+        assert sharded_entry_path(tmp_path, key).exists()
+        assert not (tmp_path / f"{key}.json").exists()

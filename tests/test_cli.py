@@ -127,3 +127,38 @@ def test_bench_list_and_bad_scenario(capsys):
     assert "dense" in capsys.readouterr().out
     assert main(["bench", "does-not-exist"]) == 1
     assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_alloc_command(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "alloc.json"
+    assert main(["alloc", "--iterations", "400", "--scale", "0.1",
+                 "--batch", "4", "--json-out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "mask-law churn" in printed and "serving cells" in printed
+    for allocation in ("krisp", "pooled", "pooled-contention"):
+        assert allocation in printed
+
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert [row["allocation"] for row in payload["law_audit"]] == \
+        ["krisp", "pooled", "pooled-contention"]
+    assert all(row["violations"] == 0 for row in payload["law_audit"])
+    assert all(len(row["result_hash"]) == 64 for row in payload["cells"])
+    assert payload["chaos"] == []  # not requested
+    # Pool statistics only exist for the pooled policies.
+    assert "pool" not in payload["law_audit"][0]
+    assert payload["law_audit"][1]["pool"]["pool_hits"] > 0
+
+
+def test_alloc_command_rejects_unknown_model(capsys):
+    assert main(["alloc", "gpt4", "--iterations", "50"]) == 2
+    assert "unknown model" in capsys.readouterr().err
+
+
+def test_chaos_command_accepts_allocation(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["chaos", "squeezenet", "-n", "2", "-p", "krisp-i",
+                 "-s", "dropout", "--scale", "0.1", "--batch", "4",
+                 "--allocation", "pooled", "--sizing", "predictive"]) == 0

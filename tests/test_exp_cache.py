@@ -46,6 +46,8 @@ FIELD_VARIANTS = {
     "intra_cu_alpha": 1.3,
     "mem_bandwidth_budget": 0.8,
     "allocator_reshape": False,
+    "allocation": "pooled",
+    "sizing": "predictive",
 }
 
 
